@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure benchmark consumes the same underlying multi-trial simulation,
+so it is run once per session and cached here.  The default scale (400
+users, 3 trials) keeps the whole harness under a minute; set the environment
+variable ``REPRO_FULL_BENCH=1`` to run at the paper's scale (1000 users,
+5 trials).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+def _bench_scale() -> CaseStudyConfig:
+    if os.environ.get("REPRO_FULL_BENCH") == "1":
+        return CaseStudyConfig()
+    return CaseStudyConfig(num_users=400, num_trials=3)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CaseStudyConfig:
+    """The configuration used by the benchmark harness."""
+    return _bench_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_experiment(bench_config) -> ExperimentResult:
+    """The shared multi-trial simulation behind Figures 3-5."""
+    return run_experiment(bench_config)

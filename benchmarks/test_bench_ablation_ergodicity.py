@@ -1,0 +1,24 @@
+"""Benchmark E-A2: ergodicity of the closed loop (Section VI).
+
+The contractive iterated function system forgets its initial condition
+(unique attractive invariant measure); the integral-action loop does not.
+This is the numerical counterpart of the paper's warning that feedback with
+integral action can destroy the ergodic properties equal impact relies on.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import ergodicity_ablation
+
+
+def test_bench_ablation_ergodicity(benchmark):
+    result = benchmark.pedantic(
+        ergodicity_ablation, kwargs={"orbit_length": 3000, "seed": 7}, rounds=1, iterations=1
+    )
+    # Paper shape: the contractive loop is uniquely ergodic ...
+    assert result.contractive_is_ergodic
+    # ... while the integral-action loop retains memory of its initial condition.
+    assert result.integral_breaks_ergodicity
+    assert result.integral_divergence > result.contractive_max_distance
+    print()
+    print(result.summary())

@@ -1,0 +1,26 @@
+"""Benchmark E-X2: concept drift (recession scenario).
+
+The closed-loop view's premise is that practical AI systems are retrained
+because the world drifts.  This benchmark shocks the income table in
+2008-2009 and compares the retraining scorecard with the never-retrained
+one on the quality of their post-shock lending decisions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.extensions import drift_comparison
+
+
+def test_bench_extension_drift(benchmark):
+    config = CaseStudyConfig(num_users=250, num_trials=2)
+    result = benchmark.pedantic(drift_comparison, args=(config,), rounds=1, iterations=1)
+    retraining = result.outcomes["retraining scorecard"]
+    static = result.outcomes["static scorecard (never retrained)"]
+    # Both arms survive the shock with valid metrics; the retraining lender's
+    # post-shock portfolio should not default more than the frozen one's.
+    assert 0.0 <= retraining.post_shock_default_rate <= 1.0
+    assert 0.0 <= static.post_shock_default_rate <= 1.0
+    assert retraining.post_shock_default_rate <= static.post_shock_default_rate + 0.05
+    print()
+    print(result.summary())

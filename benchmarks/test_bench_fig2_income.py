@@ -1,0 +1,30 @@
+"""Benchmark E-F2: reproduce Figure 2 (income distribution by race, 2020).
+
+Regenerates the bracket shares of the synthetic census table and asserts the
+qualitative features the paper reads off the real table: close to 20% of
+Asian households above $200K, most Black households below $75K, and the
+upper-tail ordering Asian > White > Black.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.census import Race
+from repro.experiments.fig2_income import fig2_income_distribution
+
+
+def test_bench_fig2_income_distribution(benchmark):
+    result = benchmark(fig2_income_distribution, 2020)
+    # Paper shape: ~20% of Asian households above $200K in 2020.
+    assert result.share_over_200k[Race.ASIAN] == pytest.approx(0.20, abs=0.06)
+    # Paper shape: the bulk of Black households below $75K.
+    assert result.share_under_75k[Race.BLACK] > 0.5
+    # Paper shape: the upper tail orders Asian > White > Black.
+    assert (
+        result.share_over_200k[Race.ASIAN]
+        > result.share_over_200k[Race.WHITE]
+        > result.share_over_200k[Race.BLACK]
+    )
+    print()
+    print(result.summary())

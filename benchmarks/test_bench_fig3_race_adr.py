@@ -1,0 +1,51 @@
+"""Benchmark E-F3: reproduce Figure 3 (race-wise average default rates).
+
+Runs the multi-trial closed-loop simulation (shared across the figure
+benchmarks) and regenerates the race-wise mean +/- std series of ADR_s(k)
+over 2002-2020.  The asserted shape matches the paper: Black households
+start with the highest default rate, every race's series ends low, and the
+cross-race gap shrinks ("dwindles to a similar level").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.census import Race
+from repro.experiments.fig3_race_adr import fig3_race_adr
+
+
+def test_bench_fig3_race_adr(benchmark, bench_experiment):
+    result = benchmark.pedantic(
+        fig3_race_adr, kwargs={"result": bench_experiment}, rounds=3, iterations=1
+    )
+    warm_up = bench_experiment.config.warm_up_rounds
+    # Paper shape: Black households start with the highest race-wise ADR.
+    assert (
+        result.mean_series[Race.BLACK][warm_up]
+        > result.mean_series[Race.WHITE][warm_up]
+        >= result.mean_series[Race.ASIAN][warm_up]
+    )
+    # Paper shape: the cross-race gap shrinks over the simulated years.
+    assert result.gap_shrinks
+    # Paper shape: all series end at a low level (the paper's axis tops out at ~0.08).
+    for race in Race:
+        assert result.mean_series[race][-1] < 0.12
+    # The error bands exist (5 trials in the paper, >=2 here).
+    for race in Race:
+        assert np.all(result.std_series[race] >= 0.0)
+    print()
+    print(result.summary())
+
+
+def test_bench_fig3_simulation_cost(benchmark, bench_config):
+    """Time one full trial of the underlying closed-loop simulation."""
+    from repro.experiments.runner import run_trial
+
+    trial = benchmark.pedantic(
+        run_trial, args=(bench_config,), kwargs={"trial_index": 0}, rounds=1, iterations=1
+    )
+    assert trial.user_default_rates.shape == (
+        bench_config.num_steps,
+        bench_config.num_users,
+    )

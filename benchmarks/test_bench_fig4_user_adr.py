@@ -1,0 +1,27 @@
+"""Benchmark E-F4: reproduce Figure 4 (user-wise average default rates).
+
+Stacks every user-wise ADR_i(k) series from every trial (the paper's
+5 x 1000 curves) and asserts the paper's reading: the curves spread widely
+right after the warm-up years and dwindle towards a similar, low level by
+2020.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_user_adr import fig4_user_adr
+
+
+def test_bench_fig4_user_adr(benchmark, bench_experiment):
+    result = benchmark.pedantic(
+        fig4_user_adr, kwargs={"result": bench_experiment}, rounds=3, iterations=1
+    )
+    config = bench_experiment.config
+    # Every trial contributes one series per user.
+    assert result.num_series == config.num_trials * config.num_users
+    # Paper shape: the cross-user dispersion shrinks from the warm-up years
+    # to the end of the simulation.
+    warm_up = config.warm_up_rounds
+    assert result.dispersion_series[-1] < result.dispersion_series[warm_up]
+    assert result.final_spread <= result.initial_spread
+    print()
+    print(result.summary())

@@ -1,0 +1,34 @@
+"""Benchmark E-F5: reproduce Figure 5 (density of user-wise ADR over time).
+
+Histograms the stacked user-wise series per year (the paper's grey-shade
+density plot) and asserts the paper's reading: the mass concentrates at low
+default rates over time — the modal bin ends low and the high-ADR tail
+thins out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig5_density import fig5_density
+
+
+def test_bench_fig5_density(benchmark, bench_experiment):
+    result = benchmark.pedantic(
+        fig5_density, kwargs={"result": bench_experiment}, rounds=3, iterations=1
+    )
+    # Rows are probability distributions over the ADR bins.
+    np.testing.assert_allclose(result.density.sum(axis=1), 1.0, atol=1e-9)
+    # Paper shape: by 2020 most users sit below an ADR of 0.10 and the modal
+    # bin is at the low end of the axis.
+    assert result.mass_below_010[-1] > 0.6
+    assert result.modal_bin_centers[-1] < 0.2
+    # Paper shape: the high-ADR tail (rates above 0.5) thins out over time.
+    centers = (result.bin_edges[:-1] + result.bin_edges[1:]) / 2.0
+    high_bins = centers > 0.5
+    warm_up = bench_experiment.config.warm_up_rounds
+    assert (
+        result.density[-1, high_bins].sum() <= result.density[warm_up, high_bins].sum()
+    )
+    print()
+    print(result.summary())

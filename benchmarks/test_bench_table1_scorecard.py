@@ -1,0 +1,28 @@
+"""Benchmark E-T1: reproduce Table I (the scorecard).
+
+Regenerates the paper's hand-written card, its worked example (score 4.953),
+and a card trained on simulated warm-up data; asserts that the trained
+points have the same sign pattern as the published ones (negative history
+points, positive income points).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.table1_scorecard import table1_scorecard_result
+
+
+def test_bench_table1_scorecard(benchmark):
+    config = CaseStudyConfig(num_users=1000, num_trials=1)
+    result = benchmark.pedantic(
+        table1_scorecard_result, args=(config,), rounds=1, iterations=1
+    )
+    # Paper row: the worked example of Table I scores 4.953.
+    assert result.worked_example_score == pytest.approx(4.953, abs=1e-9)
+    # Paper shape: default history carries negative points, income positive.
+    assert result.trained_history_points < 0
+    assert result.trained_income_points > 0
+    print()
+    print(result.summary())

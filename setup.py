@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e .``) work in offline
+environments whose setuptools/pip combination cannot build PEP 660 editable
+wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

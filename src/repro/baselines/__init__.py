@@ -1,0 +1,29 @@
+"""Baseline decision policies the paper's introduction motivates.
+
+Each baseline implements the :class:`repro.core.ai_system.AISystem`
+protocol, so it can be dropped into the closed loop in place of the
+retraining scorecard lender:
+
+* :class:`UniformLimitPolicy` — the introduction's "most equal treatment
+  possible": a fixed $50K credit line for everyone who has never defaulted
+  (pair it with ``MortgageTerms(fixed_principal=50)``).
+* :class:`IncomeMultiplePolicy` — the introduction's alternative: an
+  income-proportional credit limit offered to everyone above a minimal
+  income (the proportionality itself lives in the mortgage terms).
+* :class:`StaticCreditScoringSystem` — the retraining lender frozen after
+  its first training round: the open-loop, concept-drift-blind scorecard.
+* :class:`GroupThresholdPolicy` — a demographic-parity post-processing
+  baseline that chooses group-specific cut-offs to equalise approval rates.
+"""
+
+from repro.baselines.uniform_limit import UniformLimitPolicy
+from repro.baselines.income_multiple import IncomeMultiplePolicy
+from repro.baselines.static_model import StaticCreditScoringSystem
+from repro.baselines.parity import GroupThresholdPolicy
+
+__all__ = [
+    "UniformLimitPolicy",
+    "IncomeMultiplePolicy",
+    "StaticCreditScoringSystem",
+    "GroupThresholdPolicy",
+]

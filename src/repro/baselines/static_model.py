@@ -1,0 +1,65 @@
+"""The never-retrained scorecard: the open-loop baseline.
+
+The paper stresses that practical AI systems are retrained over time
+("concept drift ... ignored by most analyses").  This baseline quantifies
+what the retraining buys: the lender trains its scorecard once, right after
+the warm-up years, and then keeps applying the same card forever, ignoring
+every later observation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.ai_system import CreditScoringSystem
+from repro.credit.lender import Lender
+
+__all__ = ["StaticCreditScoringSystem"]
+
+
+class StaticCreditScoringSystem(CreditScoringSystem):
+    """A credit-scoring system that stops retraining after the first fit.
+
+    Parameters
+    ----------
+    lender:
+        The wrapped lender (defaults to the paper's configuration).
+    training_rounds:
+        Number of initial ``update`` calls that actually retrain; later
+        calls are ignored.  The default of 1 trains exactly once, on the
+        data produced by the warm-up years.
+    """
+
+    def __init__(self, lender: Lender | None = None, training_rounds: int = 1) -> None:
+        super().__init__(lender=lender)
+        if training_rounds < 1:
+            raise ValueError("training_rounds must be at least 1")
+        self._training_rounds = int(training_rounds)
+        self._updates_done = 0
+
+    @property
+    def training_rounds(self) -> int:
+        """Return how many update calls are allowed to retrain."""
+        return self._training_rounds
+
+    @property
+    def updates_done(self) -> int:
+        """Return how many retraining rounds have actually happened."""
+        return self._updates_done
+
+    def update(
+        self,
+        public_features: Mapping[str, np.ndarray],
+        decisions: np.ndarray,
+        actions: np.ndarray,
+        observation: Mapping[str, np.ndarray | float],
+        k: int,
+    ) -> None:
+        """Retrain only during the first ``training_rounds`` update calls."""
+        if self._updates_done >= self._training_rounds:
+            return None
+        super().update(public_features, decisions, actions, observation, k)
+        self._updates_done += 1
+        return None

@@ -1,0 +1,127 @@
+"""Command-line interface: regenerate any table or figure from a terminal.
+
+Installed as the ``repro`` module's ``__main__``-style entry point::
+
+    python -m repro.cli fig3 --users 400 --trials 3
+    python -m repro.cli table1
+    python -m repro.cli ablation-baselines --users 250 --trials 2
+    python -m repro.cli all --full
+
+Each sub-command prints the plain-text rendering of the corresponding
+artefact of the paper (Table I, Figures 2-5) or of the ablations and
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Sequence
+
+from repro.experiments import (
+    CaseStudyConfig,
+    baseline_comparison,
+    drift_comparison,
+    ergodicity_ablation,
+    fig2_income_distribution,
+    fig3_race_adr,
+    fig4_user_adr,
+    fig5_density,
+    run_experiment,
+    steering_comparison,
+    table1_scorecard_result,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
+    if arguments.full:
+        return CaseStudyConfig(seed=arguments.seed)
+    return CaseStudyConfig(
+        num_users=arguments.users,
+        num_trials=arguments.trials,
+        seed=arguments.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the closed-loop equal-impact paper.",
+    )
+    parser.add_argument("--users", type=int, default=300, help="users per trial (default 300)")
+    parser.add_argument("--trials", type=int, default=2, help="number of trials (default 2)")
+    parser.add_argument("--seed", type=int, default=20240101, help="master random seed")
+    parser.add_argument(
+        "--full", action="store_true", help="use the paper-scale configuration (1000 users, 5 trials)"
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "ablation-baselines",
+            "ablation-ergodicity",
+            "steering",
+            "drift",
+            "all",
+        ],
+        help="which artefact to regenerate",
+    )
+    return parser
+
+
+def _figures(config: CaseStudyConfig, which: Sequence[str]) -> str:
+    """Run the shared simulation once and render the requested figures."""
+    experiment = run_experiment(config)
+    renderers: Dict[str, Callable[[], str]] = {
+        "fig3": lambda: fig3_race_adr(result=experiment).summary(),
+        "fig4": lambda: fig4_user_adr(result=experiment).summary(),
+        "fig5": lambda: fig5_density(result=experiment).summary(),
+    }
+    sections = []
+    for name in which:
+        sections.append(f"== {name} ==\n{renderers[name]()}")
+    return "\n\n".join(sections)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse arguments, run the requested artefact, print it."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    config = _config_from_arguments(arguments)
+
+    if arguments.command == "table1":
+        print(table1_scorecard_result(config.scaled(num_trials=1)).summary())
+    elif arguments.command == "fig2":
+        print(fig2_income_distribution(config.end_year).summary())
+    elif arguments.command in ("fig3", "fig4", "fig5"):
+        print(_figures(config, [arguments.command]))
+    elif arguments.command == "ablation-baselines":
+        print(baseline_comparison(config).summary())
+    elif arguments.command == "ablation-ergodicity":
+        print(ergodicity_ablation().summary())
+    elif arguments.command == "steering":
+        print(steering_comparison(config).summary())
+    elif arguments.command == "drift":
+        print(drift_comparison(config).summary())
+    elif arguments.command == "all":
+        print("== table1 ==")
+        print(table1_scorecard_result(config.scaled(num_trials=1)).summary())
+        print("\n== fig2 ==")
+        print(fig2_income_distribution(config.end_year).summary())
+        print()
+        print(_figures(config, ["fig3", "fig4", "fig5"]))
+        print("\n== ablation-baselines ==")
+        print(baseline_comparison(config).summary())
+        print("\n== ablation-ergodicity ==")
+        print(ergodicity_ablation().summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI tests
+    raise SystemExit(main())

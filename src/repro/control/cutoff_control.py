@@ -1,0 +1,113 @@
+"""Integral cut-off control: tracking a target approval rate.
+
+A lender that wants to keep its approval rate (or, equivalently, the volume
+of lending) on target can close a second loop around the scorecard: measure
+the realised approval rate, integrate the tracking error, and move the
+cut-off accordingly.  This is exactly the integral action whose effect on
+the ergodic properties of ensembles Section VI warns about (following
+Fioravanti et al. 2019) — useful both as a realistic lender behaviour and
+as the knob the ergodicity ablation turns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.credit.lender import Lender
+from repro.scoring.cutoff import CutoffPolicy
+from repro.utils.validation import require_non_negative, require_probability
+
+__all__ = ["IntegralCutoffController"]
+
+
+class IntegralCutoffController:
+    """Retraining scorecard lender whose cut-off tracks a target approval rate.
+
+    Parameters
+    ----------
+    target_approval_rate:
+        Desired share of approved users per round.
+    gain:
+        Integral gain: the cut-off moves by ``gain * (approval - target)``
+        after every post-warm-up round (approving too many raises the bar).
+    lender:
+        The wrapped retraining lender.
+    cutoff_bounds:
+        Hard bounds keeping the adapted cut-off in a sane range.
+    """
+
+    def __init__(
+        self,
+        target_approval_rate: float = 0.9,
+        gain: float = 1.0,
+        lender: Lender | None = None,
+        cutoff_bounds: tuple[float, float] = (-10.0, 10.0),
+    ) -> None:
+        self._target = require_probability(target_approval_rate, "target_approval_rate")
+        self._gain = require_non_negative(gain, "gain")
+        self._lender = lender or Lender()
+        if cutoff_bounds[0] > cutoff_bounds[1]:
+            raise ValueError("cutoff_bounds must be ordered (low, high)")
+        self._bounds = (float(cutoff_bounds[0]), float(cutoff_bounds[1]))
+        self._cutoff = float(self._lender.cutoff)
+        self._cutoff_history: list[float] = []
+
+    @property
+    def cutoff(self) -> float:
+        """Return the current (adapted) cut-off."""
+        return self._cutoff
+
+    @property
+    def cutoff_history(self) -> list[float]:
+        """Return the cut-off used at each post-warm-up decision round."""
+        return list(self._cutoff_history)
+
+    @property
+    def target_approval_rate(self) -> float:
+        """Return the approval-rate target."""
+        return self._target
+
+    @property
+    def lender(self) -> Lender:
+        """Return the wrapped lender."""
+        return self._lender
+
+    def decide(
+        self,
+        public_features: Mapping[str, np.ndarray],
+        observation: Mapping[str, np.ndarray | float],
+        k: int,
+    ) -> np.ndarray:
+        """Score with the current card and the adapted cut-off, then adapt it."""
+        incomes = np.asarray(public_features["income"], dtype=float)
+        rates = np.asarray(observation["user_default_rates"], dtype=float)
+        decision = self._lender.decide(incomes, rates)
+        if decision.warm_up:
+            return decision.decisions.astype(float)
+        policy = CutoffPolicy(cutoff=self._cutoff)
+        decisions = policy.decide(decision.scores).astype(float)
+        self._cutoff_history.append(self._cutoff)
+        approval_rate = float(decisions.mean())
+        adapted = self._cutoff + self._gain * (approval_rate - self._target)
+        self._cutoff = float(np.clip(adapted, self._bounds[0], self._bounds[1]))
+        return decisions
+
+    def update(
+        self,
+        public_features: Mapping[str, np.ndarray],
+        decisions: np.ndarray,
+        actions: np.ndarray,
+        observation: Mapping[str, np.ndarray | float],
+        k: int,
+    ) -> None:
+        """Retrain the wrapped lender on the delayed feedback."""
+        incomes = np.asarray(public_features["income"], dtype=float)
+        rates = np.asarray(observation["user_default_rates"], dtype=float)
+        self._lender.retrain(
+            incomes,
+            rates,
+            np.asarray(actions, dtype=float),
+            offered=np.asarray(decisions, dtype=float),
+        )

@@ -1,0 +1,92 @@
+"""Epsilon-greedy exploration: keeping the loop's graph strongly connected.
+
+Section VI ties the existence of an invariant measure — the backbone of
+equal impact — to strong connectivity of the Markov system's graph: from
+every state the loop must be able to reach every other state.  A scorecard
+that permanently locks out users with a poor history destroys that
+connectivity (the "locked out" state becomes absorbing).  The epsilon-greedy
+wrapper restores it mechanically: every denial is flipped to an approval
+with a small probability, so every user's history keeps receiving fresh
+observations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.ai_system import AISystem
+from repro.utils.rng import spawn_generator
+from repro.utils.validation import require_probability
+
+__all__ = ["EpsilonGreedyPolicy"]
+
+
+class EpsilonGreedyPolicy:
+    """Wrap any decision policy and explore denied users with probability epsilon.
+
+    Parameters
+    ----------
+    base_policy:
+        The wrapped decision policy (any :class:`AISystem`).
+    epsilon:
+        Probability with which each denial is flipped to an approval.
+    seed:
+        Seed of the wrapper's private exploration randomness (kept separate
+        from the loop's stream so wrapping a policy does not perturb the
+        base policy's decisions).
+    """
+
+    def __init__(self, base_policy: AISystem, epsilon: float = 0.05, seed: int = 0) -> None:
+        self._base_policy = base_policy
+        self._epsilon = require_probability(epsilon, "epsilon")
+        self._rng = spawn_generator(seed)
+        self._explored_last_round: np.ndarray | None = None
+
+    @property
+    def base_policy(self) -> AISystem:
+        """Return the wrapped policy."""
+        return self._base_policy
+
+    @property
+    def epsilon(self) -> float:
+        """Return the exploration probability."""
+        return self._epsilon
+
+    @property
+    def explored_last_round(self) -> np.ndarray | None:
+        """Return the 0/1 mask of users explored at the last decision round."""
+        return (
+            None
+            if self._explored_last_round is None
+            else self._explored_last_round.copy()
+        )
+
+    def decide(
+        self,
+        public_features: Mapping[str, np.ndarray],
+        observation: Mapping[str, np.ndarray | float],
+        k: int,
+    ) -> np.ndarray:
+        """Take the base decisions, then flip each denial with probability epsilon."""
+        decisions = np.asarray(
+            self._base_policy.decide(public_features, observation, k), dtype=float
+        ).copy()
+        denied = decisions == 0.0
+        exploration_draws = self._rng.random(decisions.shape) < self._epsilon
+        explored = denied & exploration_draws
+        decisions[explored] = 1.0
+        self._explored_last_round = explored.astype(float)
+        return decisions
+
+    def update(
+        self,
+        public_features: Mapping[str, np.ndarray],
+        decisions: np.ndarray,
+        actions: np.ndarray,
+        observation: Mapping[str, np.ndarray | float],
+        k: int,
+    ) -> None:
+        """Delegate retraining to the wrapped policy."""
+        self._base_policy.update(public_features, decisions, actions, observation, k)

@@ -1,0 +1,153 @@
+"""Recording of closed-loop simulations.
+
+The orchestrator appends one :class:`StepRecord` per time step;
+:class:`SimulationHistory` stacks the per-step arrays into convenient
+``(steps, users)`` matrices and computes the derived series the fairness
+definitions and the paper's figures need (running default rates, running
+action averages, per-group aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.stats import cesaro_averages
+
+__all__ = ["StepRecord", "SimulationHistory"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything observed in one pass through the loop.
+
+    Attributes
+    ----------
+    step:
+        The time index ``k``.
+    public_features:
+        The features the population revealed before the decision.
+    decisions:
+        The AI system's output ``pi(k, i)``, one entry per user.
+    actions:
+        The users' responses ``y_i(k)``, one entry per user.
+    observation:
+        The filter's output *after* folding in this step.
+    """
+
+    step: int
+    public_features: Mapping[str, np.ndarray]
+    decisions: np.ndarray
+    actions: np.ndarray
+    observation: Mapping[str, np.ndarray | float]
+
+
+@dataclass
+class SimulationHistory:
+    """A full closed-loop trajectory.
+
+    Attributes
+    ----------
+    records:
+        One :class:`StepRecord` per simulated step, in time order.
+    """
+
+    records: List[StepRecord] = field(default_factory=list)
+
+    def append(self, record: StepRecord) -> None:
+        """Append one step's record."""
+        self.records.append(record)
+
+    @property
+    def num_steps(self) -> int:
+        """Return the number of recorded steps."""
+        return len(self.records)
+
+    @property
+    def num_users(self) -> int:
+        """Return the number of users (from the first record)."""
+        if not self.records:
+            raise ValueError("the history is empty")
+        return int(np.asarray(self.records[0].decisions).shape[0])
+
+    def decisions_matrix(self) -> np.ndarray:
+        """Return the decisions as a ``(steps, users)`` matrix."""
+        self._require_non_empty()
+        return np.vstack([np.asarray(r.decisions, dtype=float) for r in self.records])
+
+    def actions_matrix(self) -> np.ndarray:
+        """Return the actions as a ``(steps, users)`` matrix."""
+        self._require_non_empty()
+        return np.vstack([np.asarray(r.actions, dtype=float) for r in self.records])
+
+    def public_feature_matrix(self, name: str) -> np.ndarray:
+        """Return one public feature (e.g. income) as a ``(steps, users)`` matrix."""
+        self._require_non_empty()
+        rows = []
+        for record in self.records:
+            if name not in record.public_features:
+                raise KeyError(f"public feature {name!r} was not recorded")
+            rows.append(np.asarray(record.public_features[name], dtype=float))
+        return np.vstack(rows)
+
+    def observation_series(self, name: str) -> np.ndarray:
+        """Return one observation entry stacked over time.
+
+        Per-user observations produce a ``(steps, users)`` matrix, scalar
+        observations a ``(steps,)`` vector.
+        """
+        self._require_non_empty()
+        rows = []
+        for record in self.records:
+            if name not in record.observation:
+                raise KeyError(f"observation {name!r} was not recorded")
+            rows.append(np.asarray(record.observation[name], dtype=float))
+        return np.vstack(rows) if rows[0].ndim >= 1 and rows[0].size > 1 else np.asarray(
+            [float(row) for row in rows]
+        )
+
+    def running_action_averages(self) -> np.ndarray:
+        """Return the Cesàro averages of the actions, per user, over time.
+
+        Entry ``[k, i]`` is ``(1 / (k + 1)) * sum_{j <= k} y_i(j)`` — the
+        quantity whose limit Definition 3 (equal impact) constrains.
+        """
+        return cesaro_averages(self.actions_matrix(), axis=0)
+
+    def running_default_rates(self) -> np.ndarray:
+        """Return the cumulative average default rates ``ADR_i(k)`` over time.
+
+        Defaults are "offered but not repaid"; a user with no offers so far
+        has rate 0 by convention, matching
+        :class:`repro.credit.default_rates.DefaultRateTracker`.
+        """
+        decisions = self.decisions_matrix()
+        actions = self.actions_matrix()
+        offers = np.cumsum(decisions, axis=0)
+        repayments = np.cumsum(actions * decisions, axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = np.where(offers > 0, 1.0 - repayments / np.maximum(offers, 1e-12), 0.0)
+        return rates
+
+    def group_series(
+        self, per_user_series: np.ndarray, groups: Mapping[object, np.ndarray]
+    ) -> Dict[object, np.ndarray]:
+        """Average a ``(steps, users)`` series over each group of user indices."""
+        series = np.asarray(per_user_series, dtype=float)
+        result: Dict[object, np.ndarray] = {}
+        for key, indices in groups.items():
+            if indices.size == 0:
+                result[key] = np.full(series.shape[0], np.nan)
+            else:
+                result[key] = series[:, indices].mean(axis=1)
+        return result
+
+    def approval_rates(self) -> np.ndarray:
+        """Return the per-step fraction of approved users."""
+        return self.decisions_matrix().mean(axis=1)
+
+    def _require_non_empty(self) -> None:
+        if not self.records:
+            raise ValueError("the history is empty")

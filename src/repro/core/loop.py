@@ -1,0 +1,143 @@
+"""The closed-loop orchestrator (Figure 1 of the paper).
+
+One pass through the loop at time ``k``:
+
+1. the population reveals its public features (e.g. this year's incomes);
+2. the AI system decides ``pi(k)`` from those features and the *previous*
+   filtered observation;
+3. the users respond stochastically with actions ``y_i(k)``;
+4. the AI system is retrained on the delayed feedback — the features and
+   observation that were available when it decided, paired with the actions
+   it has just provoked (this is the paper's "delay" box);
+5. the filter folds the new actions into the aggregate observation used at
+   the next step.
+
+:class:`ClosedLoop` implements exactly that ordering and records every step
+in a :class:`~repro.core.history.SimulationHistory`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ai_system import AISystem
+from repro.core.filters import LoopFilter
+from repro.core.history import SimulationHistory, StepRecord
+from repro.core.population import Population
+from repro.utils.rng import spawn_generator
+
+__all__ = ["ClosedLoop"]
+
+
+class ClosedLoop:
+    """Wires an AI system, a population, and a filter into the closed loop.
+
+    Parameters
+    ----------
+    ai_system:
+        The decision maker (implements :class:`~repro.core.ai_system.AISystem`).
+    population:
+        The users (implements :class:`~repro.core.population.Population`).
+    loop_filter:
+        The aggregation filter (implements
+        :class:`~repro.core.filters.LoopFilter`).
+    retrain:
+        Whether to call the AI system's ``update`` hook each step.  Setting
+        this to ``False`` turns the loop into the open-loop baseline where
+        the model never adapts to the feedback it creates.
+    """
+
+    def __init__(
+        self,
+        ai_system: AISystem,
+        population: Population,
+        loop_filter: LoopFilter,
+        retrain: bool = True,
+    ) -> None:
+        self._ai_system = ai_system
+        self._population = population
+        self._filter = loop_filter
+        self._retrain = retrain
+
+    @property
+    def ai_system(self) -> AISystem:
+        """Return the AI system."""
+        return self._ai_system
+
+    @property
+    def population(self) -> Population:
+        """Return the population."""
+        return self._population
+
+    @property
+    def loop_filter(self) -> LoopFilter:
+        """Return the filter."""
+        return self._filter
+
+    def run(
+        self,
+        num_steps: int,
+        rng: int | np.random.Generator | None = None,
+        history: SimulationHistory | None = None,
+    ) -> SimulationHistory:
+        """Run the loop for ``num_steps`` steps and return the history.
+
+        Parameters
+        ----------
+        num_steps:
+            Number of passes through the loop.
+        rng:
+            Seed or generator driving all stochastic components.
+        history:
+            Optional existing history to append to (the loop can be run in
+            several chunks, e.g. to inspect intermediate state).
+        """
+        if num_steps < 0:
+            raise ValueError("num_steps must be non-negative")
+        generator = spawn_generator(rng)
+        record_book = history if history is not None else SimulationHistory()
+        start = record_book.num_steps
+        for k in range(start, start + num_steps):
+            record_book.append(self.step(k, generator))
+        return record_book
+
+    def step(self, k: int, rng: int | np.random.Generator | None = None) -> StepRecord:
+        """Execute one pass through the loop at time ``k``."""
+        generator = spawn_generator(rng)
+        public_features = self._population.begin_step(k, generator)
+        observation_before = self._filter.observation()
+        decisions = np.asarray(
+            self._ai_system.decide(public_features, observation_before, k), dtype=float
+        ).ravel()
+        if decisions.shape[0] != self._population.num_users:
+            raise ValueError(
+                "the AI system must return one decision per user "
+                f"({decisions.shape[0]} != {self._population.num_users})"
+            )
+        actions = np.asarray(
+            self._population.respond(decisions, k, generator), dtype=float
+        ).ravel()
+        if actions.shape[0] != self._population.num_users:
+            raise ValueError("the population must return one action per user")
+        if self._retrain:
+            self._ai_system.update(
+                public_features, decisions, actions, observation_before, k
+            )
+        observation_after = self._filter.update(decisions, actions, k)
+        return StepRecord(
+            step=k,
+            public_features={
+                name: np.asarray(value, dtype=float).copy()
+                for name, value in public_features.items()
+            },
+            decisions=decisions.copy(),
+            actions=actions.copy(),
+            observation={
+                name: (
+                    np.asarray(value, dtype=float).copy()
+                    if np.ndim(value) > 0
+                    else float(value)
+                )
+                for name, value in observation_after.items()
+            },
+        )

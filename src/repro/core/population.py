@@ -1,0 +1,230 @@
+"""User populations: the stochastic response side of the closed loop.
+
+A population exposes two hooks per time step.  ``begin_step`` lets the users
+reveal whatever public (non-protected) features the AI system is allowed to
+see before deciding — in the credit case study the yearly income, of which
+the lender only uses the income code.  ``respond`` then consumes the AI
+system's decisions and produces the users' stochastic actions ``y_i(k)``.
+
+Two populations are provided: :class:`CreditPopulation`, the paper's
+mortgage borrowers (income redrawn yearly from the census-like table,
+repayment from the Gaussian conditional-independence model), and
+:class:`IFSPopulation`, a population of signal-dependent iterated function
+systems matching the abstract user model of Section VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.credit.borrower import affordability_state
+from repro.credit.mortgage import MortgageTerms
+from repro.credit.repayment import GaussianRepaymentModel
+from repro.data.census import IncomeTable, Race, default_income_table
+from repro.data.income import IncomeSampler
+from repro.data.synthetic import SyntheticPopulation
+from repro.markov.ifs import SignalDependentIFS
+from repro.utils.rng import spawn_generator
+
+__all__ = [
+    "PopulationPublicFeatures",
+    "Population",
+    "CreditPopulation",
+    "IFSPopulation",
+]
+
+
+#: Public features revealed at the start of a step: a mapping from feature
+#: name to a per-user array (e.g. ``{"income": incomes}``).
+PopulationPublicFeatures = Dict[str, np.ndarray]
+
+
+@runtime_checkable
+class Population(Protocol):
+    """Protocol for the population box of the closed loop."""
+
+    @property
+    def num_users(self) -> int:
+        """Return the number of users in the population."""
+        ...  # pragma: no cover - protocol
+
+    def begin_step(
+        self, k: int, rng: np.random.Generator
+    ) -> PopulationPublicFeatures:
+        """Reveal the public features for step ``k`` (may be empty)."""
+        ...  # pragma: no cover - protocol
+
+    def respond(
+        self, decisions: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return the users' actions in response to ``decisions``."""
+        ...  # pragma: no cover - protocol
+
+
+class CreditPopulation:
+    """The paper's population of mortgage borrowers.
+
+    Each step (year) every user's income is redrawn from the census-like
+    table for their race; the income is revealed as a public feature, the
+    affordability state of equation (10) is computed privately, and the
+    repayment action follows the Gaussian conditional-independence model of
+    equation (11).
+
+    Parameters
+    ----------
+    population:
+        The synthetic population (race per user).
+    income_table:
+        Income distributions by year and race (defaults to the embedded
+        table).
+    terms:
+        Mortgage terms (defaults to the paper's).
+    repayment_model:
+        The repayment model (defaults to the paper's sensitivity of 5).
+    start_year:
+        Calendar year corresponding to step ``k = 0`` (paper: 2002).
+    """
+
+    def __init__(
+        self,
+        population: SyntheticPopulation,
+        income_table: IncomeTable | None = None,
+        terms: MortgageTerms | None = None,
+        repayment_model: GaussianRepaymentModel | None = None,
+        start_year: int = 2002,
+    ) -> None:
+        self._population = population
+        self._sampler = IncomeSampler(income_table or default_income_table())
+        self._terms = terms or MortgageTerms()
+        self._repayment_model = repayment_model or GaussianRepaymentModel()
+        self._start_year = start_year
+        self._current_incomes: np.ndarray | None = None
+        self._current_affordability: np.ndarray | None = None
+
+    @property
+    def num_users(self) -> int:
+        """Return the number of users."""
+        return self._population.size
+
+    @property
+    def races(self) -> np.ndarray:
+        """Return the per-user race labels (protected attribute)."""
+        return self._population.races_array()
+
+    @property
+    def groups(self) -> Dict[Race, np.ndarray]:
+        """Return the per-race index sets ``N_s``."""
+        return self._population.indices_by_race()
+
+    @property
+    def terms(self) -> MortgageTerms:
+        """Return the mortgage terms."""
+        return self._terms
+
+    @property
+    def current_affordability(self) -> np.ndarray:
+        """Return the private states ``x_i(k)`` of the current step."""
+        if self._current_affordability is None:
+            raise RuntimeError("begin_step must be called before reading states")
+        return self._current_affordability.copy()
+
+    def year_of_step(self, k: int) -> int:
+        """Return the calendar year corresponding to step ``k``."""
+        return self._start_year + k
+
+    def begin_step(
+        self, k: int, rng: np.random.Generator
+    ) -> PopulationPublicFeatures:
+        """Redraw incomes for step ``k`` and reveal them as public features."""
+        generator = spawn_generator(rng)
+        incomes = self._sampler.sample_population(
+            self.year_of_step(k), self._population.races, generator
+        )
+        self._current_incomes = incomes
+        self._current_affordability = affordability_state(incomes, self._terms)
+        return {"income": incomes.copy()}
+
+    def respond(
+        self, decisions: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample the repayment actions ``y_i(k)`` for the given decisions."""
+        if self._current_affordability is None:
+            raise RuntimeError("begin_step must be called before respond")
+        generator = spawn_generator(rng)
+        return self._repayment_model.sample_repayments(
+            self._current_affordability, decisions, generator
+        ).astype(float)
+
+
+@dataclass
+class IFSPopulation:
+    """A population of users, each modelled as a signal-dependent IFS.
+
+    This is the abstract user model of Section VI: user ``i`` has
+    state-transition maps and output maps whose selection probabilities
+    depend on the broadcast signal (here, the user's decision entry).
+
+    Attributes
+    ----------
+    users:
+        One :class:`~repro.markov.ifs.SignalDependentIFS` per user.
+    initial_states:
+        Initial private state of each user.
+    """
+
+    users: Sequence[SignalDependentIFS]
+    initial_states: Sequence[np.ndarray]
+    _states: list = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.users) == 0:
+            raise ValueError("the population must contain at least one user")
+        if len(self.users) != len(self.initial_states):
+            raise ValueError("initial_states must have one entry per user")
+        self._states = [
+            np.atleast_1d(np.asarray(state, dtype=float)).copy()
+            for state in self.initial_states
+        ]
+
+    @property
+    def num_users(self) -> int:
+        """Return the number of users."""
+        return len(self.users)
+
+    @property
+    def states(self) -> list:
+        """Return a copy of the users' current private states."""
+        return [state.copy() for state in self._states]
+
+    def begin_step(
+        self, k: int, rng: np.random.Generator
+    ) -> PopulationPublicFeatures:
+        """IFS users reveal no public features."""
+        return {}
+
+    def respond(
+        self, decisions: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance every user one IFS step under their decision entry.
+
+        ``decisions`` may be a scalar broadcast signal or a per-user array;
+        each user's action is the (scalar) output of their output map.
+        """
+        generator = spawn_generator(rng)
+        signal_array = np.broadcast_to(
+            np.asarray(decisions, dtype=float).ravel()
+            if np.ndim(decisions) > 0
+            else np.asarray([decisions], dtype=float),
+            (self.num_users,),
+        )
+        actions = np.empty(self.num_users, dtype=float)
+        for index, user in enumerate(self.users):
+            next_state, action = user.step(
+                self._states[index], float(signal_array[index]), generator
+            )
+            self._states[index] = next_state
+            actions[index] = float(np.atleast_1d(action)[0])
+        return actions

@@ -1,0 +1,85 @@
+"""Mortgage product terms used by the case study.
+
+The paper's simulation offers every approved user a mortgage worth 3.5 times
+their annual income, charges 2.16% annual interest, and assumes a basic
+living cost of $10K per year.  All monetary amounts in the library are in
+thousands of dollars.
+
+The introduction's "equal treatment" counter-example — a uniform credit
+limit of $50K for everyone — is covered by the optional ``fixed_principal``:
+when set, the mortgage size no longer scales with income.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["MortgageTerms"]
+
+
+@dataclass(frozen=True)
+class MortgageTerms:
+    """Terms of the mortgage product offered to approved users.
+
+    Attributes
+    ----------
+    income_multiple:
+        Size of the mortgage as a multiple of annual income (paper: 3.5).
+    annual_rate:
+        Annual interest rate as a fraction (paper: 0.0216, i.e. 2.16%).
+    living_cost:
+        Basic annual living cost in thousands of dollars (paper: 10).
+    fixed_principal:
+        When set, every approved user receives a mortgage of this fixed size
+        (in $K) instead of the income multiple — the introduction's uniform
+        $50K credit limit.
+    """
+
+    income_multiple: float = 3.5
+    annual_rate: float = 0.0216
+    living_cost: float = 10.0
+    fixed_principal: float | None = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.income_multiple, "income_multiple")
+        require_non_negative(self.annual_rate, "annual_rate")
+        require_non_negative(self.living_cost, "living_cost")
+        if self.fixed_principal is not None:
+            require_positive(self.fixed_principal, "fixed_principal")
+
+    def principal(
+        self, income: float | Sequence[float] | np.ndarray
+    ) -> np.ndarray | float:
+        """Return the mortgage principal offered on ``income`` ($K).
+
+        Accepts scalars or arrays; with ``fixed_principal`` set the result is
+        constant regardless of income.
+        """
+        incomes = np.asarray(income, dtype=float)
+        if np.any(incomes < 0):
+            raise ValueError("income must be non-negative")
+        if self.fixed_principal is not None:
+            principals = np.full_like(incomes, self.fixed_principal, dtype=float)
+        else:
+            principals = self.income_multiple * incomes
+        return principals if incomes.ndim else float(principals)
+
+    def annual_interest(
+        self, income: float | Sequence[float] | np.ndarray
+    ) -> np.ndarray | float:
+        """Return the annual interest due on the mortgage offered at ``income``."""
+        return np.asarray(self.principal(income), dtype=float) * self.annual_rate if np.ndim(income) else float(self.principal(income)) * self.annual_rate
+
+    def annual_obligation(
+        self, income: float | Sequence[float] | np.ndarray
+    ) -> np.ndarray | float:
+        """Return living cost plus annual mortgage interest for ``income``."""
+        interest = self.annual_interest(income)
+        if np.ndim(income):
+            return self.living_cost + np.asarray(interest, dtype=float)
+        return self.living_cost + float(interest)

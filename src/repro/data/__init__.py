@@ -1,0 +1,58 @@
+"""Income-data substrate.
+
+The paper drives its credit-scoring case study with Table A-2 of the US
+Census Bureau's Current Population Survey (households by total money income,
+race, and year).  That table is not redistributable here, so this package
+provides a **synthetic, embedded equivalent**: per-year, per-race household
+income *bracket* distributions for 2002-2020 with the qualitative structure
+the paper describes (see ``DESIGN.md`` for the substitution rationale), plus
+samplers that draw household incomes from those brackets exactly the way the
+paper's simulation does.
+
+Public API
+----------
+:class:`Race`
+    The three race groups used by the paper.
+:data:`INCOME_BRACKETS`
+    The nine CPS income brackets, in thousands of dollars.
+:class:`IncomeTable`
+    Bracket shares and household counts by year and race.
+:func:`default_income_table`
+    The embedded synthetic table covering 2002-2020.
+:class:`IncomeSampler`
+    Draws household incomes from an :class:`IncomeTable`.
+:class:`PopulationSpec` / :func:`generate_population`
+    Synthesis of a user population with a given race mix.
+"""
+
+from repro.data.census import (
+    INCOME_BRACKETS,
+    BracketDistribution,
+    IncomeTable,
+    Race,
+    default_income_table,
+    paper_race_mix,
+)
+from repro.data.income import IncomeSampler
+from repro.data.synthetic import PopulationSpec, SyntheticPopulation, generate_population
+from repro.data.scenarios import (
+    recession_scenario,
+    shift_distribution,
+    widening_gap_scenario,
+)
+
+__all__ = [
+    "INCOME_BRACKETS",
+    "BracketDistribution",
+    "IncomeTable",
+    "Race",
+    "default_income_table",
+    "paper_race_mix",
+    "IncomeSampler",
+    "PopulationSpec",
+    "SyntheticPopulation",
+    "generate_population",
+    "recession_scenario",
+    "shift_distribution",
+    "widening_gap_scenario",
+]

@@ -1,0 +1,83 @@
+"""Sampling household incomes from an :class:`~repro.data.census.IncomeTable`.
+
+The paper's simulation redraws each user's income every year from the
+bracket distribution of their race group in that year.  The sampler here
+does exactly that: pick a bracket according to its share, then draw the
+income uniformly within the bracket (the open-ended top bracket uses the cap
+recorded in :data:`~repro.data.census.INCOME_BRACKETS`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.census import INCOME_BRACKETS, IncomeTable, Race
+from repro.utils.rng import spawn_generator
+
+__all__ = ["IncomeSampler"]
+
+
+class IncomeSampler:
+    """Draws household incomes (in thousands of dollars) by year and race."""
+
+    def __init__(self, table: IncomeTable) -> None:
+        self._table = table
+        self._lows = np.array([low for low, _ in INCOME_BRACKETS], dtype=float)
+        self._highs = np.array([high for _, high in INCOME_BRACKETS], dtype=float)
+
+    @property
+    def table(self) -> IncomeTable:
+        """Return the underlying income table."""
+        return self._table
+
+    def sample(
+        self,
+        year: int,
+        race: Race,
+        size: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Sample ``size`` incomes for ``race`` in ``year``.
+
+        Returns an array of incomes in thousands of dollars, each drawn by
+        selecting a bracket with the table's probabilities and then sampling
+        uniformly inside the bracket.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        generator = spawn_generator(rng)
+        shares = self._table.bracket_shares(year, race)
+        brackets = generator.choice(len(INCOME_BRACKETS), size=size, p=shares)
+        uniforms = generator.random(size)
+        lows = self._lows[brackets]
+        highs = self._highs[brackets]
+        return lows + uniforms * (highs - lows)
+
+    def sample_population(
+        self,
+        year: int,
+        races: Sequence[Race],
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Sample one income per user, given each user's race.
+
+        ``races`` is the per-user race assignment of a population; the result
+        is an array of the same length with that user's income for ``year``.
+        """
+        generator = spawn_generator(rng)
+        races_array = np.asarray(races, dtype=object)
+        incomes = np.empty(races_array.size, dtype=float)
+        for race in self._table.races:
+            mask = races_array == race
+            count = int(mask.sum())
+            if count:
+                incomes[mask] = self.sample(year, race, count, generator)
+        return incomes
+
+    def expected_income(self, year: int, race: Race) -> float:
+        """Return the expected income (bracket-midpoint approximation)."""
+        shares = self._table.bracket_shares(year, race)
+        midpoints = (self._lows + self._highs) / 2.0
+        return float(np.dot(shares, midpoints))

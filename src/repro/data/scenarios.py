@@ -1,0 +1,110 @@
+"""Income-table scenarios: concept drift the retraining loop must survive.
+
+One of the paper's arguments for the closed-loop view is that practical AI
+systems are retrained because the world drifts underneath them.  The
+scenarios here perturb the embedded income table so experiments can compare
+the retraining lender against the never-retrained one when the drift is
+abrupt (a recession year) or gradual (a widening income gap between
+groups).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.data.census import (
+    INCOME_BRACKETS,
+    BracketDistribution,
+    IncomeTable,
+    Race,
+    default_income_table,
+)
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["recession_scenario", "widening_gap_scenario", "shift_distribution"]
+
+
+def shift_distribution(
+    distribution: BracketDistribution, downshift: float
+) -> BracketDistribution:
+    """Move a fraction of every bracket's mass one bracket down.
+
+    ``downshift`` is the fraction of households in each bracket that fall to
+    the next-lower bracket (the lowest bracket keeps its mass).  The result
+    is a valid distribution with a strictly lower mean whenever
+    ``downshift > 0`` and the original distribution has mass above the
+    lowest bracket.
+    """
+    require_in_range(downshift, "downshift", 0.0, 1.0)
+    shares = np.asarray(distribution.shares, dtype=float).copy()
+    moved = shares[1:] * downshift
+    shares[1:] -= moved
+    shares[:-1] += moved
+    shares = shares / shares.sum()
+    return BracketDistribution(
+        year=distribution.year,
+        race=distribution.race,
+        shares=tuple(shares),
+        households=distribution.households,
+    )
+
+
+def _rebuild(
+    base: IncomeTable,
+    transform,
+) -> IncomeTable:
+    distributions: Dict[Tuple[int, Race], BracketDistribution] = {}
+    for year in base.years:
+        for race in base.races:
+            distributions[(year, race)] = transform(base.distribution(year, race))
+    return IncomeTable(distributions)
+
+
+def recession_scenario(
+    shock_years: Tuple[int, ...] = (2008, 2009),
+    downshift: float = 0.35,
+    base: IncomeTable | None = None,
+) -> IncomeTable:
+    """A recession: incomes drop sharply in the shock years, for every race.
+
+    Defaults to a 2008-2009 shock in which 35% of each bracket's households
+    fall one bracket, mimicking the financial-crisis dent in the real CPS
+    series.
+    """
+    require_in_range(downshift, "downshift", 0.0, 1.0)
+    table = base or default_income_table()
+
+    def transform(distribution: BracketDistribution) -> BracketDistribution:
+        if distribution.year in shock_years:
+            return shift_distribution(distribution, downshift)
+        return distribution
+
+    return _rebuild(table, transform)
+
+
+def widening_gap_scenario(
+    disadvantaged: Race = Race.BLACK,
+    annual_downshift: float = 0.03,
+    start_year: int = 2010,
+    base: IncomeTable | None = None,
+) -> IncomeTable:
+    """Gradual drift: one group's income distribution slips year after year.
+
+    From ``start_year`` onwards the disadvantaged group's distribution is
+    pushed down by ``annual_downshift`` per elapsed year (compounding), so
+    the cross-group income gap widens steadily — the kind of slow drift that
+    makes a never-retrained scorecard progressively worse calibrated.
+    """
+    require_in_range(annual_downshift, "annual_downshift", 0.0, 1.0)
+    table = base or default_income_table()
+
+    def transform(distribution: BracketDistribution) -> BracketDistribution:
+        if distribution.race is not disadvantaged or distribution.year < start_year:
+            return distribution
+        elapsed = distribution.year - start_year + 1
+        cumulative = 1.0 - (1.0 - annual_downshift) ** elapsed
+        return shift_distribution(distribution, cumulative)
+
+    return _rebuild(table, transform)

@@ -1,0 +1,63 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module reproduces one artefact of the evaluation section (see
+``DESIGN.md`` for the experiment index):
+
+* :mod:`repro.experiments.table1_scorecard` — Table I.
+* :mod:`repro.experiments.fig2_income` — Figure 2 (income by race, 2020).
+* :mod:`repro.experiments.fig3_race_adr` — Figure 3 (race-wise ADR, 5 trials).
+* :mod:`repro.experiments.fig4_user_adr` — Figure 4 (user-wise ADR curves).
+* :mod:`repro.experiments.fig5_density` — Figure 5 (ADR density over time).
+* :mod:`repro.experiments.ablations` — the policy and ergodicity ablations.
+
+:mod:`repro.experiments.runner` runs the underlying multi-trial simulation
+once and every figure module can consume the shared
+:class:`~repro.experiments.runner.ExperimentResult`, so the whole evaluation
+costs a single pass.
+"""
+
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import ExperimentResult, TrialResult, run_experiment, run_trial
+from repro.experiments.table1_scorecard import Table1Result, table1_scorecard_result
+from repro.experiments.fig2_income import Fig2Result, fig2_income_distribution
+from repro.experiments.fig3_race_adr import Fig3Result, fig3_race_adr
+from repro.experiments.fig4_user_adr import Fig4Result, fig4_user_adr
+from repro.experiments.fig5_density import Fig5Result, fig5_density
+from repro.experiments.ablations import (
+    BaselineComparisonResult,
+    ErgodicityAblationResult,
+    baseline_comparison,
+    ergodicity_ablation,
+)
+from repro.experiments.extensions import (
+    DriftComparisonResult,
+    SteeringComparisonResult,
+    drift_comparison,
+    steering_comparison,
+)
+
+__all__ = [
+    "CaseStudyConfig",
+    "TrialResult",
+    "ExperimentResult",
+    "run_trial",
+    "run_experiment",
+    "Table1Result",
+    "table1_scorecard_result",
+    "Fig2Result",
+    "fig2_income_distribution",
+    "Fig3Result",
+    "fig3_race_adr",
+    "Fig4Result",
+    "fig4_user_adr",
+    "Fig5Result",
+    "fig5_density",
+    "BaselineComparisonResult",
+    "ErgodicityAblationResult",
+    "baseline_comparison",
+    "ergodicity_ablation",
+    "SteeringComparisonResult",
+    "steering_comparison",
+    "DriftComparisonResult",
+    "drift_comparison",
+]

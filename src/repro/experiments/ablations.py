@@ -1,0 +1,272 @@
+"""Ablations: policy comparison (E-A1) and ergodicity of the loop (E-A2).
+
+E-A1 — *Which policy equalises impact?*  The introduction's motivating
+comparison: the uniform $50K credit limit (pure equal treatment), the
+income-proportional mortgage with the retraining scorecard (the paper's
+system), and the never-retrained scorecard.  For each policy the experiment
+reports the final cross-race gap in average default rates and in approval
+rates.
+
+E-A2 — *When is the loop ergodic?*  A contractive two-map iterated function
+system forgets its initial condition (unique invariant measure), whereas a
+loop closed through an integral-action filter accumulates a state that
+drifts with the realised noise — the ergodicity-breaking effect Section VI
+warns about (following Fioravanti et al. 2019).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.ai_system import CreditScoringSystem
+from repro.core.metrics import approval_rates_by_group
+from repro.baselines.static_model import StaticCreditScoringSystem
+from repro.baselines.uniform_limit import UniformLimitPolicy
+from repro.baselines.income_multiple import IncomeMultiplePolicy
+from repro.credit.lender import Lender
+from repro.credit.mortgage import MortgageTerms
+from repro.data.census import Race
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.markov.ifs import IteratedFunctionSystem
+from repro.markov.invariant import unique_ergodicity_diagnostic, wasserstein_distance_1d
+from repro.markov.maps import AffineMap
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "BaselineComparisonResult",
+    "baseline_comparison",
+    "ErgodicityAblationResult",
+    "ergodicity_ablation",
+]
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Summary of one policy in the baseline comparison.
+
+    Attributes
+    ----------
+    final_group_rates:
+        Final-year race-wise average default rates (mean across trials).
+    final_gap:
+        Cross-race spread of those rates.
+    approval_rates:
+        Overall approval rate per race (pooled over steps and trials).
+    approval_gap:
+        Cross-race spread of the approval rates.
+    """
+
+    final_group_rates: Dict[Race, float]
+    final_gap: float
+    approval_rates: Dict[Race, float]
+    approval_gap: float
+
+
+@dataclass(frozen=True)
+class BaselineComparisonResult:
+    """Reproduction artefact of the policy ablation (E-A1).
+
+    Attributes
+    ----------
+    outcomes:
+        Per policy name, the summary of its long-run behaviour.
+    """
+
+    outcomes: Dict[str, PolicyOutcome]
+
+    def summary(self) -> str:
+        """Return the comparison as a plain-text table."""
+        rows = []
+        for name, outcome in self.outcomes.items():
+            rows.append(
+                [
+                    name,
+                    outcome.final_gap,
+                    outcome.approval_gap,
+                    *[outcome.final_group_rates[race] for race in Race],
+                ]
+            )
+        headers = [
+            "policy",
+            "final ADR gap",
+            "approval gap",
+            *[f"final ADR {race.value}" for race in Race],
+        ]
+        return format_table(headers, rows)
+
+    def equal_impact_ranking(self) -> list[str]:
+        """Return the policy names ordered from smallest to largest final gap."""
+        return sorted(self.outcomes, key=lambda name: self.outcomes[name].final_gap)
+
+
+def _summarise(result: ExperimentResult) -> PolicyOutcome:
+    mean_series = result.group_mean_series()
+    final_rates = {race: float(series[-1]) for race, series in mean_series.items()}
+    finite = [value for value in final_rates.values() if np.isfinite(value)]
+    final_gap = float(max(finite) - min(finite)) if len(finite) > 1 else 0.0
+    approval_totals: Dict[Race, list[float]] = {race: [] for race in Race}
+    for trial in result.trials:
+        decisions = trial.history.decisions_matrix()
+        groups = {
+            race: np.flatnonzero(trial.races == race) for race in Race
+        }
+        rates = approval_rates_by_group(decisions, groups)
+        for race in Race:
+            if np.isfinite(rates[race]):
+                approval_totals[race].append(rates[race])
+    approvals = {
+        race: float(np.mean(values)) if values else float("nan")
+        for race, values in approval_totals.items()
+    }
+    finite_approvals = [value for value in approvals.values() if np.isfinite(value)]
+    approval_gap = (
+        float(max(finite_approvals) - min(finite_approvals))
+        if len(finite_approvals) > 1
+        else 0.0
+    )
+    return PolicyOutcome(
+        final_group_rates=final_rates,
+        final_gap=final_gap,
+        approval_rates=approvals,
+        approval_gap=approval_gap,
+    )
+
+
+def baseline_comparison(config: CaseStudyConfig | None = None) -> BaselineComparisonResult:
+    """Run the policy ablation (E-A1) and return the per-policy summaries."""
+    run_config = config or CaseStudyConfig()
+    proportional_terms = MortgageTerms(
+        income_multiple=run_config.income_multiple,
+        annual_rate=run_config.annual_rate,
+        living_cost=run_config.living_cost,
+    )
+    uniform_terms = MortgageTerms(
+        income_multiple=run_config.income_multiple,
+        annual_rate=run_config.annual_rate,
+        living_cost=run_config.living_cost,
+        fixed_principal=50.0,
+    )
+    experiments = {
+        "retraining scorecard (paper)": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: CreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+            terms=proportional_terms,
+        ),
+        "uniform $50K limit (equal treatment)": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: UniformLimitPolicy(),
+            terms=uniform_terms,
+        ),
+        "income-multiple, approve all": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: IncomeMultiplePolicy(),
+            terms=proportional_terms,
+        ),
+        "static scorecard (never retrained)": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: StaticCreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+            terms=proportional_terms,
+        ),
+    }
+    return BaselineComparisonResult(
+        outcomes={name: _summarise(result) for name, result in experiments.items()}
+    )
+
+
+@dataclass(frozen=True)
+class ErgodicityAblationResult:
+    """Reproduction artefact of the ergodicity ablation (E-A2).
+
+    Attributes
+    ----------
+    contractive_max_distance:
+        Largest pairwise Wasserstein distance between empirical measures of
+        the contractive IFS started from different initial conditions
+        (small when the loop is uniquely ergodic).
+    contractive_is_ergodic:
+        Whether the contractive diagnostic passed its tolerance.
+    integral_divergence:
+        Wasserstein distance between the integral-action loop's state
+        distributions obtained from two different initial conditions (large
+        when ergodicity is lost).
+    integral_breaks_ergodicity:
+        Whether the integral-action loop retained memory of its initial
+        condition beyond the same tolerance.
+    tolerance:
+        The tolerance shared by both checks.
+    """
+
+    contractive_max_distance: float
+    contractive_is_ergodic: bool
+    integral_divergence: float
+    integral_breaks_ergodicity: bool
+    tolerance: float
+
+    def summary(self) -> str:
+        """Return the ablation as a short plain-text report."""
+        return "\n".join(
+            [
+                "Ergodicity ablation (E-A2)",
+                f"contractive IFS: max Wasserstein distance across initial conditions "
+                f"= {self.contractive_max_distance:.4f} "
+                f"({'uniquely ergodic' if self.contractive_is_ergodic else 'NOT ergodic'})",
+                f"integral-action loop: distance across initial conditions "
+                f"= {self.integral_divergence:.4f} "
+                f"({'ergodicity lost' if self.integral_breaks_ergodicity else 'still ergodic'})",
+            ]
+        )
+
+
+def ergodicity_ablation(
+    orbit_length: int = 3000,
+    tolerance: float = 0.05,
+    seed: int = 7,
+) -> ErgodicityAblationResult:
+    """Run the ergodicity ablation (E-A2).
+
+    The contractive case is the classical two-map affine IFS
+    ``x -> 0.5 x`` / ``x -> 0.5 x + 0.5`` with equal probabilities, which has
+    a unique attractive invariant measure.  The non-ergodic case integrates
+    the realised actions (integral action), so the accumulated state is a
+    random walk plus the initial condition and never forgets it.
+    """
+    contractive = IteratedFunctionSystem(
+        maps=[AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)],
+        probabilities=[0.5, 0.5],
+    )
+    diagnostic = unique_ergodicity_diagnostic(
+        simulate_orbit=lambda x0, length, generator: contractive.orbit(x0, length, generator),
+        initial_states=[np.array([-5.0]), np.array([5.0])],
+        orbit_length=orbit_length,
+        tolerance=tolerance,
+        rng=seed,
+    )
+
+    def integral_orbit(initial_state: float, length: int, generator: np.random.Generator) -> np.ndarray:
+        states = np.empty(length + 1)
+        states[0] = initial_state
+        for index in range(length):
+            # Integral action: accumulate the (zero-mean) realised action.
+            states[index + 1] = states[index] + generator.choice((-0.5, 0.5))
+        return states
+
+    first = integral_orbit(-5.0, orbit_length, np.random.default_rng(derive_seed(seed, "a")))
+    second = integral_orbit(5.0, orbit_length, np.random.default_rng(derive_seed(seed, "b")))
+    burn = orbit_length // 3
+    integral_distance = wasserstein_distance_1d(first[burn:], second[burn:])
+    return ErgodicityAblationResult(
+        contractive_max_distance=float(diagnostic.max_distance),
+        contractive_is_ergodic=bool(diagnostic.consistent_with_unique_ergodicity),
+        integral_divergence=float(integral_distance),
+        integral_breaks_ergodicity=bool(integral_distance > tolerance),
+        tolerance=tolerance,
+    )

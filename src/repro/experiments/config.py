@@ -1,0 +1,96 @@
+"""Configuration of the paper's credit-scoring case study.
+
+One frozen dataclass gathers every parameter of Section VII: the population
+size and race mix, the simulated calendar window, the mortgage terms, the
+repayment-model sensitivity, the scorecard cut-off, and the number of
+trials.  The defaults reproduce the paper exactly; benchmarks and tests use
+scaled-down copies via :meth:`CaseStudyConfig.scaled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Tuple
+
+from repro.data.census import Race, paper_race_mix
+from repro.utils.validation import require_positive
+
+__all__ = ["CaseStudyConfig"]
+
+
+@dataclass(frozen=True)
+class CaseStudyConfig:
+    """Parameters of the credit-scoring closed-loop simulation.
+
+    Attributes
+    ----------
+    num_users:
+        Number of simulated households per trial (paper: 1000).
+    num_trials:
+        Number of independent trials, each with a fresh population
+        (paper: 5).
+    start_year, end_year:
+        Simulated calendar window; one time step per year (paper:
+        2002-2020).
+    race_mix:
+        Sampling distribution of the protected attribute (paper: the 2002
+        household ratio).
+    income_multiple, annual_rate, living_cost:
+        Mortgage terms (paper: 3.5x, 2.16%, $10K).
+    repayment_sensitivity:
+        Slope of the probit repayment model (paper: 5).
+    cutoff:
+        Scorecard cut-off score (paper: 0.4).
+    warm_up_rounds:
+        Initial years with approve-everyone decisions (paper: 2).
+    income_threshold:
+        Income-code threshold in $K (paper: $15K).
+    seed:
+        Master seed; trial ``t`` derives its own stream from it.
+    """
+
+    num_users: int = 1000
+    num_trials: int = 5
+    start_year: int = 2002
+    end_year: int = 2020
+    race_mix: Mapping[Race, float] = field(default_factory=paper_race_mix)
+    income_multiple: float = 3.5
+    annual_rate: float = 0.0216
+    living_cost: float = 10.0
+    repayment_sensitivity: float = 5.0
+    cutoff: float = 0.4
+    warm_up_rounds: int = 2
+    income_threshold: float = 15.0
+    seed: int = 20240101
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_users, "num_users")
+        require_positive(self.num_trials, "num_trials")
+        if self.end_year < self.start_year:
+            raise ValueError("end_year must not precede start_year")
+        if self.warm_up_rounds < 0:
+            raise ValueError("warm_up_rounds must be non-negative")
+
+    @property
+    def num_steps(self) -> int:
+        """Return the number of simulated time steps (one per year)."""
+        return self.end_year - self.start_year + 1
+
+    @property
+    def years(self) -> Tuple[int, ...]:
+        """Return the simulated calendar years."""
+        return tuple(range(self.start_year, self.end_year + 1))
+
+    def scaled(
+        self, num_users: int | None = None, num_trials: int | None = None
+    ) -> "CaseStudyConfig":
+        """Return a copy with a smaller population and/or fewer trials.
+
+        Convenient for tests and quick benchmarks that keep every other
+        parameter at the paper's values.
+        """
+        return replace(
+            self,
+            num_users=num_users if num_users is not None else self.num_users,
+            num_trials=num_trials if num_trials is not None else self.num_trials,
+        )

@@ -1,0 +1,234 @@
+"""Extension experiments: impact steering (E-X1) and concept drift (E-X2).
+
+These go beyond the paper's evaluation section and exercise the library's
+extension features:
+
+* **E-X1 (steering)** — the conclusion of the paper asks how equality of
+  impact could be *imposed*.  The experiment compares the plain retraining
+  scorecard with the proportional equal-impact steering policy and with the
+  epsilon-greedy exploration wrapper, reporting the final cross-race and
+  cross-user default-rate gaps of each.
+* **E-X2 (drift)** — the closed-loop view's motivation is that AI systems
+  are retrained because the world drifts.  The experiment runs the
+  retraining and the never-retrained scorecard on a recession scenario and
+  reports how well each keeps its approval decisions aligned with actual
+  repayment ability after the shock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.static_model import StaticCreditScoringSystem
+from repro.control.exploration import EpsilonGreedyPolicy
+from repro.control.steering import ImpactSteeringPolicy
+from repro.core.ai_system import CreditScoringSystem
+from repro.credit.lender import Lender
+from repro.data.census import Race
+from repro.data.scenarios import recession_scenario
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.utils.stats import gini_coefficient
+
+__all__ = [
+    "SteeringComparisonResult",
+    "steering_comparison",
+    "DriftComparisonResult",
+    "drift_comparison",
+]
+
+
+@dataclass(frozen=True)
+class SteeringOutcome:
+    """Summary of one policy arm in the steering experiment.
+
+    Attributes
+    ----------
+    final_group_gap:
+        Final cross-race gap of the mean ``ADR_s(k)``.
+    final_user_gini:
+        Gini coefficient of the final per-user default rates — an
+        inequality summary of impact across individuals.
+    mean_approval_rate:
+        Average approval rate over all steps and trials.
+    """
+
+    final_group_gap: float
+    final_user_gini: float
+    mean_approval_rate: float
+
+
+@dataclass(frozen=True)
+class SteeringComparisonResult:
+    """Result of the impact-steering experiment (E-X1)."""
+
+    outcomes: Dict[str, SteeringOutcome]
+
+    def summary(self) -> str:
+        """Return the comparison as a plain-text table."""
+        rows = [
+            [name, outcome.final_group_gap, outcome.final_user_gini, outcome.mean_approval_rate]
+            for name, outcome in self.outcomes.items()
+        ]
+        return format_table(
+            ["policy", "final ADR gap (race)", "final ADR Gini (users)", "mean approval"],
+            rows,
+        )
+
+
+def _steering_outcome(result: ExperimentResult) -> SteeringOutcome:
+    mean_series = result.group_mean_series()
+    final_rates = [float(series[-1]) for series in mean_series.values() if np.isfinite(series[-1])]
+    group_gap = float(max(final_rates) - min(final_rates)) if len(final_rates) > 1 else 0.0
+    final_user_rates = np.concatenate(
+        [trial.user_default_rates[-1] for trial in result.trials]
+    )
+    approvals = np.mean(
+        [trial.history.approval_rates().mean() for trial in result.trials]
+    )
+    return SteeringOutcome(
+        final_group_gap=group_gap,
+        final_user_gini=gini_coefficient(final_user_rates) if final_user_rates.sum() > 0 else 0.0,
+        mean_approval_rate=float(approvals),
+    )
+
+
+def steering_comparison(
+    config: CaseStudyConfig | None = None,
+    steering_gain: float = 5.0,
+    epsilon: float = 0.1,
+) -> SteeringComparisonResult:
+    """Run the impact-steering experiment (E-X1)."""
+    run_config = config or CaseStudyConfig()
+    arms = {
+        "plain retraining scorecard": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: CreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+        ),
+        "impact steering (proportional boost)": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: ImpactSteeringPolicy(
+                gain=steering_gain,
+                lender=Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds),
+            ),
+        ),
+        "epsilon-greedy exploration": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: EpsilonGreedyPolicy(
+                CreditScoringSystem(
+                    Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+                ),
+                epsilon=epsilon,
+                seed=cfg.seed,
+            ),
+        ),
+    }
+    return SteeringComparisonResult(
+        outcomes={name: _steering_outcome(result) for name, result in arms.items()}
+    )
+
+
+@dataclass(frozen=True)
+class DriftOutcome:
+    """Summary of one policy arm in the drift experiment.
+
+    Attributes
+    ----------
+    post_shock_default_rate:
+        Pooled default rate of the loans granted in the years after the
+        shock (lower means the lender adapted its decisions to the drift).
+    post_shock_approval_rate:
+        Approval rate over the post-shock years.
+    final_group_gap:
+        Final cross-race gap of the mean ``ADR_s(k)``.
+    """
+
+    post_shock_default_rate: float
+    post_shock_approval_rate: float
+    final_group_gap: float
+
+
+@dataclass(frozen=True)
+class DriftComparisonResult:
+    """Result of the concept-drift experiment (E-X2)."""
+
+    outcomes: Dict[str, DriftOutcome]
+    shock_years: tuple
+
+    def summary(self) -> str:
+        """Return the comparison as a plain-text table."""
+        rows = [
+            [
+                name,
+                outcome.post_shock_default_rate,
+                outcome.post_shock_approval_rate,
+                outcome.final_group_gap,
+            ]
+            for name, outcome in self.outcomes.items()
+        ]
+        return (
+            f"Recession shock in {self.shock_years}\n"
+            + format_table(
+                ["policy", "post-shock default rate", "post-shock approval", "final ADR gap"],
+                rows,
+            )
+        )
+
+
+def _drift_outcome(result: ExperimentResult, first_post_shock_step: int) -> DriftOutcome:
+    defaults = []
+    offers = []
+    approvals = []
+    for trial in result.trials:
+        decisions = trial.history.decisions_matrix()[first_post_shock_step:]
+        actions = trial.history.actions_matrix()[first_post_shock_step:]
+        offers.append(decisions.sum())
+        defaults.append((decisions * (1.0 - actions)).sum())
+        approvals.append(decisions.mean())
+    total_offers = float(np.sum(offers))
+    mean_series = result.group_mean_series()
+    final_rates = [float(series[-1]) for series in mean_series.values() if np.isfinite(series[-1])]
+    return DriftOutcome(
+        post_shock_default_rate=float(np.sum(defaults) / total_offers) if total_offers else 0.0,
+        post_shock_approval_rate=float(np.mean(approvals)),
+        final_group_gap=float(max(final_rates) - min(final_rates)) if len(final_rates) > 1 else 0.0,
+    )
+
+
+def drift_comparison(
+    config: CaseStudyConfig | None = None,
+    shock_years: tuple = (2008, 2009),
+    downshift: float = 0.35,
+) -> DriftComparisonResult:
+    """Run the concept-drift experiment (E-X2) on a recession scenario."""
+    run_config = config or CaseStudyConfig()
+    table = recession_scenario(shock_years=shock_years, downshift=downshift)
+    first_post_shock_step = max(shock_years) - run_config.start_year + 1
+    arms = {
+        "retraining scorecard": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: CreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+            income_table=table,
+        ),
+        "static scorecard (never retrained)": run_experiment(
+            run_config,
+            policy_factory=lambda cfg, pop: StaticCreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+            income_table=table,
+        ),
+    }
+    return DriftComparisonResult(
+        outcomes={
+            name: _drift_outcome(result, first_post_shock_step) for name, result in arms.items()
+        },
+        shock_years=tuple(shock_years),
+    )

@@ -1,0 +1,82 @@
+"""Experiment E-F2: the income distribution by race (Figure 2).
+
+The paper's Figure 2 shows the 2020 bracket shares of Black, White and
+Asian households.  The reproduction reads the same shares off the embedded
+synthetic income table and reports the qualitative features the paper
+highlights: a large share of Asian households above $200K and the bulk of
+Black households below $75K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.census import BRACKET_LABELS, IncomeTable, Race, default_income_table
+from repro.experiments.reporting import format_distribution_table
+
+__all__ = ["Fig2Result", "fig2_income_distribution"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Reproduction of Figure 2.
+
+    Attributes
+    ----------
+    year:
+        The year the distribution describes (paper: 2020).
+    bracket_labels:
+        Labels of the nine income brackets.
+    shares:
+        Per race, the probability of each bracket.
+    share_over_200k:
+        Per race, the share of households above $200K.
+    share_under_75k:
+        Per race, the share of households below $75K.
+    """
+
+    year: int
+    bracket_labels: Tuple[str, ...]
+    shares: Dict[Race, np.ndarray]
+    share_over_200k: Dict[Race, float]
+    share_under_75k: Dict[Race, float]
+
+    def summary(self) -> str:
+        """Return the bracket shares as a plain-text table."""
+        table = format_distribution_table(
+            list(self.bracket_labels),
+            {race.value: self.shares[race] for race in self.shares},
+        )
+        highlights = "\n".join(
+            f"{race.value}: over $200K {self.share_over_200k[race] * 100:.1f}%, "
+            f"under $75K {self.share_under_75k[race] * 100:.1f}%"
+            for race in self.shares
+        )
+        return f"Income distribution, {self.year}\n{table}\n\n{highlights}"
+
+
+def fig2_income_distribution(
+    year: int = 2020, table: IncomeTable | None = None
+) -> Fig2Result:
+    """Reproduce Figure 2 for ``year`` from ``table`` (default: embedded table)."""
+    income_table = table or default_income_table()
+    shares: Dict[Race, np.ndarray] = {}
+    over_200: Dict[Race, float] = {}
+    under_75: Dict[Race, float] = {}
+    for race in Race:
+        distribution = income_table.distribution(year, race)
+        vector = distribution.as_array()
+        shares[race] = vector
+        over_200[race] = distribution.share_above(200.0)
+        # Brackets 0-4 cover "under 15" through "50-75".
+        under_75[race] = float(vector[:5].sum())
+    return Fig2Result(
+        year=year,
+        bracket_labels=BRACKET_LABELS,
+        shares=shares,
+        share_over_200k=over_200,
+        share_under_75k=under_75,
+    )

@@ -1,0 +1,89 @@
+"""Experiment E-F4: user-wise average default rates (Figure 4).
+
+The paper's Figure 4 overlays all ``5 x 1000`` user-wise series
+``ADR_i(k)`` (coloured by race) and observes that they dwindle towards a
+similar level.  The reproduction collects the same stack of series and
+summarises its dispersion over time: the cross-user spread and standard
+deviation at the start and at the end of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = ["Fig4Result", "fig4_user_adr"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Reproduction of Figure 4.
+
+    Attributes
+    ----------
+    years:
+        Calendar years of the series.
+    user_series:
+        All user-wise ADR series stacked as ``(trials * users, steps)``.
+    user_races:
+        The race label of each stacked series.
+    dispersion_series:
+        Cross-user standard deviation of ``ADR_i(k)`` at each year.
+    initial_spread, final_spread:
+        Cross-user max-min spread at the first post-warm-up year and at the
+        final year.
+    """
+
+    years: Tuple[int, ...]
+    user_series: np.ndarray
+    user_races: np.ndarray
+    dispersion_series: np.ndarray
+    initial_spread: float
+    final_spread: float
+
+    @property
+    def num_series(self) -> int:
+        """Return the number of user series (trials times users)."""
+        return int(self.user_series.shape[0])
+
+    def summary(self) -> str:
+        """Return the per-year dispersion as a plain-text table."""
+        table = format_series_table(
+            list(self.years),
+            {
+                "cross-user std of ADR_i(k)": self.dispersion_series,
+                "mean ADR_i(k)": self.user_series.mean(axis=0),
+            },
+            index_name="year",
+        )
+        return (
+            f"{self.num_series} user-wise series\n{table}\n\n"
+            f"cross-user spread: initial {self.initial_spread:.4f} "
+            f"-> final {self.final_spread:.4f}"
+        )
+
+
+def fig4_user_adr(
+    config: CaseStudyConfig | None = None,
+    result: ExperimentResult | None = None,
+) -> Fig4Result:
+    """Reproduce Figure 4 (optionally reusing an existing experiment run)."""
+    experiment = result or run_experiment(config or CaseStudyConfig())
+    stacked = experiment.stacked_user_series()
+    races = experiment.stacked_user_races()
+    warm_up = experiment.config.warm_up_rounds
+    initial_index = min(warm_up, stacked.shape[1] - 1)
+    return Fig4Result(
+        years=experiment.years,
+        user_series=stacked,
+        user_races=races,
+        dispersion_series=stacked.std(axis=0),
+        initial_spread=float(stacked[:, initial_index].max() - stacked[:, initial_index].min()),
+        final_spread=float(stacked[:, -1].max() - stacked[:, -1].min()),
+    )

@@ -1,0 +1,80 @@
+"""Plain-text reporting of series and tables.
+
+The paper presents its evaluation as figures; the reproduction emits the
+same data as aligned plain-text tables so the shape of every series (levels,
+trends, cross-group gaps) can be read off a terminal or a log file and
+asserted on by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series_table", "format_distribution_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render headers and rows as an aligned plain-text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float) or isinstance(cell, np.floating):
+                rendered.append(float_format.format(float(cell)))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    ]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    index: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    index_name: str = "step",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render several named time series against a common index."""
+    names = list(series.keys())
+    headers = [index_name, *names]
+    rows = []
+    for position, key in enumerate(index):
+        row = [key]
+        for name in names:
+            values = np.asarray(series[name], dtype=float)
+            row.append(float(values[position]))
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)
+
+
+def format_distribution_table(
+    labels: Sequence[str],
+    distributions: Mapping[str, Sequence[float]],
+    as_percentage: bool = True,
+) -> str:
+    """Render bracket distributions (e.g. Figure 2's income shares)."""
+    headers = ["bracket", *distributions.keys()]
+    rows = []
+    for position, label in enumerate(labels):
+        row: list[object] = [label]
+        for values in distributions.values():
+            value = float(np.asarray(values, dtype=float)[position])
+            row.append(value * 100.0 if as_percentage else value)
+        rows.append(row)
+    suffix = " (values in %)" if as_percentage else ""
+    return format_table(headers, rows, float_format="{:.2f}") + suffix

@@ -1,0 +1,214 @@
+"""Multi-trial runner of the credit-scoring closed loop.
+
+A *trial* (the paper's term) generates a fresh batch of users and runs the
+closed loop over the whole calendar window; the experiment repeats the trial
+several times and aggregates the race-wise average-default-rate series into
+mean and standard-deviation bands — exactly the quantities plotted in the
+paper's Figures 3-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ai_system import AISystem, CreditScoringSystem
+from repro.core.filters import DefaultRateFilter
+from repro.core.history import SimulationHistory
+from repro.core.loop import ClosedLoop
+from repro.core.metrics import group_average_series
+from repro.core.population import CreditPopulation
+from repro.credit.lender import Lender
+from repro.credit.mortgage import MortgageTerms
+from repro.credit.repayment import GaussianRepaymentModel
+from repro.data.census import IncomeTable, Race, default_income_table
+from repro.data.synthetic import PopulationSpec, generate_population
+from repro.experiments.config import CaseStudyConfig
+from repro.utils.rng import derive_seed
+
+__all__ = ["TrialResult", "ExperimentResult", "run_trial", "run_experiment"]
+
+
+#: Signature of a policy factory: builds a fresh AI system for each trial.
+PolicyFactory = Callable[[CaseStudyConfig, CreditPopulation], AISystem]
+
+
+def default_policy_factory(
+    config: CaseStudyConfig, population: CreditPopulation
+) -> AISystem:
+    """Build the paper's retraining scorecard lender for one trial."""
+    return CreditScoringSystem(
+        Lender(cutoff=config.cutoff, warm_up_rounds=config.warm_up_rounds)
+    )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial of the case study.
+
+    Attributes
+    ----------
+    history:
+        The full closed-loop history of the trial.
+    user_default_rates:
+        ``ADR_i(k)`` as a ``(steps, users)`` matrix.
+    group_default_rates:
+        ``ADR_s(k)`` per race as ``(steps,)`` vectors.
+    races:
+        The per-user race labels of the trial's population.
+    years:
+        Calendar years of the steps.
+    """
+
+    history: SimulationHistory
+    user_default_rates: np.ndarray
+    group_default_rates: Dict[Race, np.ndarray]
+    races: np.ndarray
+    years: Tuple[int, ...]
+
+    @property
+    def final_group_rates(self) -> Dict[Race, float]:
+        """Return the last-step race-wise default rates."""
+        return {race: float(series[-1]) for race, series in self.group_default_rates.items()}
+
+    @property
+    def final_group_gap(self) -> float:
+        """Return the spread of the last-step race-wise default rates."""
+        finite = [value for value in self.final_group_rates.values() if np.isfinite(value)]
+        if len(finite) < 2:
+            return 0.0
+        return float(max(finite) - min(finite))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregate of several trials.
+
+    Attributes
+    ----------
+    config:
+        The configuration the trials were run with.
+    trials:
+        The individual trial results, in trial order.
+    """
+
+    config: CaseStudyConfig
+    trials: Tuple[TrialResult, ...]
+
+    @property
+    def years(self) -> Tuple[int, ...]:
+        """Return the calendar years of the simulation."""
+        return self.config.years
+
+    def group_mean_series(self) -> Dict[Race, np.ndarray]:
+        """Return, per race, the across-trial mean of ``ADR_s(k)``."""
+        return {
+            race: np.mean(
+                [trial.group_default_rates[race] for trial in self.trials], axis=0
+            )
+            for race in Race
+        }
+
+    def group_std_series(self) -> Dict[Race, np.ndarray]:
+        """Return, per race, the across-trial standard deviation of ``ADR_s(k)``."""
+        return {
+            race: np.std(
+                [trial.group_default_rates[race] for trial in self.trials], axis=0
+            )
+            for race in Race
+        }
+
+    def stacked_user_series(self) -> np.ndarray:
+        """Return all user-wise ADR series stacked as ``(trials * users, steps)``.
+
+        This is the collection of ``5 x 1000`` curves shown in the paper's
+        Figure 4.
+        """
+        return np.vstack(
+            [trial.user_default_rates.T for trial in self.trials]
+        )
+
+    def stacked_user_races(self) -> np.ndarray:
+        """Return the race label of every stacked user series."""
+        return np.concatenate([trial.races for trial in self.trials])
+
+
+def run_trial(
+    config: CaseStudyConfig,
+    trial_index: int = 0,
+    policy_factory: PolicyFactory | None = None,
+    terms: MortgageTerms | None = None,
+    income_table: IncomeTable | None = None,
+) -> TrialResult:
+    """Run one trial of the case study.
+
+    Parameters
+    ----------
+    config:
+        The case-study configuration.
+    trial_index:
+        Index of the trial; it seeds the trial's independent random stream.
+    policy_factory:
+        Builder of the AI system (defaults to the paper's retraining
+        scorecard lender).
+    terms:
+        Mortgage terms override (defaults to the configuration's terms).
+    income_table:
+        Income-table override (defaults to the embedded synthetic table).
+    """
+    factory = policy_factory or default_policy_factory
+    trial_seed = derive_seed(config.seed, "trial", trial_index)
+    rng = np.random.default_rng(trial_seed)
+    spec = PopulationSpec(size=config.num_users, race_mix=dict(config.race_mix))
+    synthetic = generate_population(spec, rng)
+    mortgage_terms = terms or MortgageTerms(
+        income_multiple=config.income_multiple,
+        annual_rate=config.annual_rate,
+        living_cost=config.living_cost,
+    )
+    population = CreditPopulation(
+        population=synthetic,
+        income_table=income_table or default_income_table(),
+        terms=mortgage_terms,
+        repayment_model=GaussianRepaymentModel(sensitivity=config.repayment_sensitivity),
+        start_year=config.start_year,
+    )
+    ai_system = factory(config, population)
+    loop = ClosedLoop(
+        ai_system=ai_system,
+        population=population,
+        loop_filter=DefaultRateFilter(num_users=config.num_users),
+    )
+    history = loop.run(config.num_steps, rng=rng)
+    user_rates = history.running_default_rates()
+    group_rates = group_average_series(user_rates, population.groups)
+    return TrialResult(
+        history=history,
+        user_default_rates=user_rates,
+        group_default_rates={race: group_rates[race] for race in Race},
+        races=population.races,
+        years=config.years,
+    )
+
+
+def run_experiment(
+    config: CaseStudyConfig,
+    policy_factory: PolicyFactory | None = None,
+    terms: MortgageTerms | None = None,
+    income_table: IncomeTable | None = None,
+) -> ExperimentResult:
+    """Run all trials of the case study and return the aggregate result."""
+    trials: List[TrialResult] = []
+    for trial_index in range(config.num_trials):
+        trials.append(
+            run_trial(
+                config,
+                trial_index=trial_index,
+                policy_factory=policy_factory,
+                terms=terms,
+                income_table=income_table,
+            )
+        )
+    return ExperimentResult(config=config, trials=tuple(trials))

@@ -1,0 +1,246 @@
+"""Iterated function systems, including the signal-dependent user model.
+
+Two flavours are provided:
+
+* :class:`IteratedFunctionSystem` — the classical IFS with (possibly
+  place-dependent) probabilities over a finite family of maps; this is the
+  single-vertex special case of a Markov system and the setting of Elton's
+  ergodic theorem.
+* :class:`SignalDependentIFS` — the paper's user model of Section VI
+  (equations 7-9): the user has state-transition maps ``w_ij`` and output
+  maps ``w'_il`` whose selection probabilities ``p_ij(pi)`` and
+  ``p'_il(pi)`` depend on the broadcast signal ``pi(k)`` rather than on the
+  state.  One step consumes a signal and produces the next private state and
+  the observable action ``y_i(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.markov.maps import StateMap
+from repro.utils.rng import spawn_generator
+from repro.utils.validation import require_probability_vector
+
+__all__ = ["IteratedFunctionSystem", "SignalDependentIFS"]
+
+
+class IteratedFunctionSystem:
+    """A finite family of maps with (place-dependent) selection probabilities.
+
+    Parameters
+    ----------
+    maps:
+        The family ``w_1, ..., w_L`` of state maps.
+    probabilities:
+        Either a fixed probability vector of length ``L`` or a callable
+        ``x -> probability vector`` for place-dependent probabilities.
+    """
+
+    def __init__(
+        self,
+        maps: Sequence[StateMap],
+        probabilities: Sequence[float] | Callable[[np.ndarray], Sequence[float]],
+    ) -> None:
+        if not maps:
+            raise ValueError("an IFS needs at least one map")
+        self._maps: Tuple[StateMap, ...] = tuple(maps)
+        if callable(probabilities):
+            self._probability_function = probabilities
+            self._fixed_probabilities: np.ndarray | None = None
+        else:
+            vector = require_probability_vector(probabilities, "probabilities")
+            if vector.size != len(self._maps):
+                raise ValueError("probabilities must have one entry per map")
+            self._fixed_probabilities = vector
+            self._probability_function = None
+
+    @property
+    def maps(self) -> Tuple[StateMap, ...]:
+        """Return the family of maps."""
+        return self._maps
+
+    def probabilities_at(self, state: np.ndarray) -> np.ndarray:
+        """Return the selection probabilities at ``state``."""
+        if self._fixed_probabilities is not None:
+            return self._fixed_probabilities
+        vector = require_probability_vector(
+            self._probability_function(np.atleast_1d(np.asarray(state, dtype=float))),
+            "probabilities",
+        )
+        if vector.size != len(self._maps):
+            raise ValueError("probability function must return one entry per map")
+        return vector
+
+    def step(
+        self, state: np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> Tuple[np.ndarray, int]:
+        """Apply one randomly selected map to ``state``.
+
+        Returns the next state and the index of the map that was applied.
+        """
+        generator = spawn_generator(rng)
+        vector = np.atleast_1d(np.asarray(state, dtype=float))
+        probabilities = self.probabilities_at(vector)
+        index = int(generator.choice(len(self._maps), p=probabilities))
+        return np.atleast_1d(np.asarray(self._maps[index](vector), dtype=float)), index
+
+    def orbit(
+        self,
+        initial_state: np.ndarray,
+        length: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Simulate ``length`` steps and return the visited states.
+
+        The result has shape ``(length + 1, state_dimension)`` and includes
+        the initial state as its first row.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        generator = spawn_generator(rng)
+        state = np.atleast_1d(np.asarray(initial_state, dtype=float))
+        states = [state.copy()]
+        for _ in range(length):
+            state, _index = self.step(state, generator)
+            states.append(state.copy())
+        return np.vstack(states)
+
+    def average_contraction_estimate(
+        self,
+        state_pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> float:
+        """Estimate the worst average contraction factor over sampled pairs.
+
+        Mirrors :meth:`repro.markov.system.MarkovSystem.average_contractivity`
+        for the single-vertex case.
+        """
+        worst = 0.0
+        for x, y in state_pairs:
+            x_vec = np.atleast_1d(np.asarray(x, dtype=float))
+            y_vec = np.atleast_1d(np.asarray(y, dtype=float))
+            distance = float(np.linalg.norm(x_vec - y_vec))
+            if distance == 0.0:
+                continue
+            probabilities = self.probabilities_at(x_vec)
+            contracted = sum(
+                float(probability)
+                * float(
+                    np.linalg.norm(
+                        np.asarray(state_map(x_vec), dtype=float)
+                        - np.asarray(state_map(y_vec), dtype=float)
+                    )
+                )
+                for state_map, probability in zip(self._maps, probabilities)
+            )
+            worst = max(worst, contracted / distance)
+        return worst
+
+
+@dataclass(frozen=True)
+class SignalDependentIFS:
+    """The paper's stochastic user model (Section VI, equations 7-9).
+
+    A user holds a private state ``x_i(k)``.  On receiving the broadcast
+    signal ``pi(k)`` the user
+
+    * moves to ``x_i(k+1) = w_ij(x_i(k))`` with probability ``p_ij(pi(k))``,
+      and
+    * emits the action ``y_i(k) = w'_il(x_i(k))`` with probability
+      ``p'_il(pi(k))``,
+
+    where the two selections are independent given the signal.
+
+    Attributes
+    ----------
+    transition_maps:
+        The state-transition maps ``w_ij``.
+    transition_probabilities:
+        Callable ``pi -> probability vector`` over the transition maps.
+    output_maps:
+        The output maps ``w'_il`` (each returns the user's action).
+    output_probabilities:
+        Callable ``pi -> probability vector`` over the output maps.
+    """
+
+    transition_maps: Tuple[StateMap, ...]
+    transition_probabilities: Callable[[object], Sequence[float]]
+    output_maps: Tuple[StateMap, ...]
+    output_probabilities: Callable[[object], Sequence[float]]
+
+    def __post_init__(self) -> None:
+        if not self.transition_maps or not self.output_maps:
+            raise ValueError("transition_maps and output_maps must be non-empty")
+
+    def _transition_vector(self, signal: object) -> np.ndarray:
+        vector = require_probability_vector(
+            self.transition_probabilities(signal), "transition probabilities"
+        )
+        if vector.size != len(self.transition_maps):
+            raise ValueError("transition probabilities must match transition_maps")
+        return vector
+
+    def _output_vector(self, signal: object) -> np.ndarray:
+        vector = require_probability_vector(
+            self.output_probabilities(signal), "output probabilities"
+        )
+        if vector.size != len(self.output_maps):
+            raise ValueError("output probabilities must match output_maps")
+        return vector
+
+    def step(
+        self,
+        state: np.ndarray,
+        signal: object,
+        rng: int | np.random.Generator | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance the user one step under ``signal``.
+
+        Returns the pair ``(next_state, action)`` following equations
+        (9a)-(9b) of the paper: the action is computed from the *current*
+        state via a randomly selected output map, and the next state via a
+        randomly selected transition map.
+        """
+        generator = spawn_generator(rng)
+        vector = np.atleast_1d(np.asarray(state, dtype=float))
+        output_index = int(
+            generator.choice(len(self.output_maps), p=self._output_vector(signal))
+        )
+        action = np.atleast_1d(
+            np.asarray(self.output_maps[output_index](vector), dtype=float)
+        )
+        transition_index = int(
+            generator.choice(
+                len(self.transition_maps), p=self._transition_vector(signal)
+            )
+        )
+        next_state = np.atleast_1d(
+            np.asarray(self.transition_maps[transition_index](vector), dtype=float)
+        )
+        return next_state, action
+
+    def trajectory(
+        self,
+        initial_state: np.ndarray,
+        signals: Sequence[object],
+        rng: int | np.random.Generator | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the user against a prescribed signal sequence.
+
+        Returns ``(states, actions)`` where ``states`` has one more row than
+        ``actions`` (it includes the initial state).
+        """
+        generator = spawn_generator(rng)
+        state = np.atleast_1d(np.asarray(initial_state, dtype=float))
+        states = [state.copy()]
+        actions = []
+        for signal in signals:
+            state, action = self.step(state, signal, generator)
+            states.append(state.copy())
+            actions.append(action)
+        return np.vstack(states), (
+            np.vstack(actions) if actions else np.empty((0, 1))
+        )

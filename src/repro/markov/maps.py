@@ -1,0 +1,95 @@
+"""State-transition maps used by Markov systems and IFSs.
+
+A Markov system (Werner 2004) is a family of Borel-measurable maps together
+with place-dependent probabilities.  In practice almost all of the paper's
+examples are built from affine maps ``x -> A x + b`` (whose contraction
+factor is the operator norm of ``A``) or from arbitrary callables wrapped in
+:class:`FunctionMap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["StateMap", "AffineMap", "FunctionMap"]
+
+
+@runtime_checkable
+class StateMap(Protocol):
+    """Protocol for a state-transition map ``w : R^n -> R^m``."""
+
+    def __call__(self, state: np.ndarray) -> np.ndarray:
+        """Apply the map to ``state`` and return the image."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """An affine map ``w(x) = A x + b``.
+
+    Affine maps are the workhorse of iterated-function-system examples: the
+    map is a contraction exactly when the spectral norm of ``A`` is below
+    one, which :meth:`lipschitz_constant` reports.
+    """
+
+    matrix: np.ndarray
+    offset: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.atleast_2d(np.asarray(self.matrix, dtype=float))
+        offset = np.atleast_1d(np.asarray(self.offset, dtype=float))
+        if matrix.shape[0] != offset.shape[0]:
+            raise ValueError(
+                "matrix row count must equal offset length "
+                f"({matrix.shape[0]} != {offset.shape[0]})"
+            )
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "offset", offset)
+
+    @classmethod
+    def scalar(cls, slope: float, intercept: float) -> "AffineMap":
+        """Build a one-dimensional affine map ``x -> slope * x + intercept``."""
+        return cls(matrix=np.array([[float(slope)]]), offset=np.array([float(intercept)]))
+
+    def __call__(self, state: np.ndarray) -> np.ndarray:
+        """Apply the map to a state vector (scalars are promoted to 1-D)."""
+        vector = np.atleast_1d(np.asarray(state, dtype=float))
+        return self.matrix @ vector + self.offset
+
+    def lipschitz_constant(self) -> float:
+        """Return the spectral norm of ``A`` (the map's Lipschitz constant)."""
+        return float(np.linalg.norm(self.matrix, ord=2))
+
+    def fixed_point(self) -> np.ndarray:
+        """Return the unique fixed point when ``I - A`` is invertible.
+
+        Raises :class:`numpy.linalg.LinAlgError` when ``A`` has eigenvalue 1.
+        """
+        identity = np.eye(self.matrix.shape[0])
+        return np.linalg.solve(identity - self.matrix, self.offset)
+
+
+@dataclass(frozen=True)
+class FunctionMap:
+    """Wrap an arbitrary callable as a :class:`StateMap` with a name.
+
+    The optional ``lipschitz`` bound, when supplied, lets the ergodicity
+    diagnostics use an exact constant rather than a sampled estimate.
+    """
+
+    function: Callable[[np.ndarray], np.ndarray]
+    name: str = "map"
+    lipschitz: float | None = None
+
+    def __call__(self, state: np.ndarray) -> np.ndarray:
+        """Apply the wrapped callable to ``state``."""
+        return np.atleast_1d(
+            np.asarray(self.function(np.atleast_1d(np.asarray(state, dtype=float))), dtype=float)
+        )
+
+    def lipschitz_constant(self) -> float | None:
+        """Return the declared Lipschitz bound, or ``None`` when unknown."""
+        return self.lipschitz

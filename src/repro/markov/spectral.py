@@ -1,0 +1,92 @@
+"""Spectral diagnostics of finite-state chains: how fast does impact equalise?
+
+For a finite-state Markov chain the speed at which time averages converge —
+and hence how quickly equal impact becomes visible — is governed by the
+spectral gap of the transition matrix: the distance between 1 and the
+second-largest eigenvalue modulus (SLEM).  This module computes the SLEM,
+the spectral gap, the implied relaxation time, and a standard upper bound
+on the total-variation mixing time for reversible chains; it complements
+the graph-level checks in :mod:`repro.markov.ergodicity` with quantitative
+rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.operators import stationary_distribution
+
+__all__ = ["SpectralDiagnostics", "spectral_diagnostics", "mixing_time_upper_bound"]
+
+
+@dataclass(frozen=True)
+class SpectralDiagnostics:
+    """Spectral summary of a finite-state transition matrix.
+
+    Attributes
+    ----------
+    second_largest_modulus:
+        The second-largest eigenvalue modulus (SLEM) of the matrix.
+    spectral_gap:
+        ``1 - SLEM``; zero for periodic or reducible chains.
+    relaxation_time:
+        ``1 / spectral_gap`` (``inf`` when the gap is zero).
+    stationary:
+        A stationary distribution of the chain.
+    """
+
+    second_largest_modulus: float
+    spectral_gap: float
+    relaxation_time: float
+    stationary: np.ndarray
+
+    @property
+    def geometrically_ergodic(self) -> bool:
+        """Return whether the chain mixes at a geometric rate (positive gap)."""
+        return self.spectral_gap > 1e-12
+
+
+def spectral_diagnostics(matrix: np.ndarray) -> SpectralDiagnostics:
+    """Compute the spectral diagnostics of a row-stochastic matrix."""
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise ValueError("matrix must be square")
+    row_sums = array.sum(axis=1)
+    if np.any(np.abs(row_sums - 1.0) > 1e-6):
+        raise ValueError("matrix rows must sum to one")
+    eigenvalues = np.linalg.eigvals(array)
+    moduli = np.sort(np.abs(eigenvalues))[::-1]
+    # The leading modulus is 1 (Perron root); the SLEM is the next one.
+    slem = float(moduli[1]) if moduli.size > 1 else 0.0
+    slem = min(slem, 1.0)
+    gap = max(0.0, 1.0 - slem)
+    return SpectralDiagnostics(
+        second_largest_modulus=slem,
+        spectral_gap=gap,
+        relaxation_time=float("inf") if gap <= 1e-15 else 1.0 / gap,
+        stationary=stationary_distribution(array),
+    )
+
+
+def mixing_time_upper_bound(matrix: np.ndarray, epsilon: float = 0.25) -> float:
+    """Return the standard relaxation-time bound on the mixing time.
+
+    For a reversible, irreducible, aperiodic chain the total-variation
+    mixing time satisfies
+
+        t_mix(epsilon) <= relaxation_time * ln(1 / (epsilon * pi_min)),
+
+    where ``pi_min`` is the smallest stationary probability.  The bound is
+    reported as ``inf`` when the spectral gap vanishes.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    diagnostics = spectral_diagnostics(matrix)
+    if not diagnostics.geometrically_ergodic:
+        return float("inf")
+    pi_min = float(diagnostics.stationary.min())
+    if pi_min <= 0:
+        return float("inf")
+    return diagnostics.relaxation_time * float(np.log(1.0 / (epsilon * pi_min)))

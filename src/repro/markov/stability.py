@@ -1,0 +1,217 @@
+"""Incremental input-to-state stability (delta-ISS) utilities.
+
+The appendix of the paper recalls Angeli's notion of incremental ISS: a
+discrete-time system ``x(k+1) = F(x(k), u(k))`` is incrementally ISS when
+any two solutions approach each other up to a class-K function of the input
+difference, with the transient bounded by a class-KL function of the initial
+gap.  For the paper this is the route by which internal stability of the
+controller and filter implies the contractivity needed for ergodicity.
+
+This module offers numerical checks: predicates for class-K / class-KL
+candidates evaluated on grids, an estimator of the contraction rate of a
+given ``F``, and a sampled incremental-ISS diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn_generator
+
+__all__ = [
+    "is_class_k",
+    "is_class_kl",
+    "estimate_contraction_rate",
+    "incremental_iss_diagnostic",
+    "IncrementalISSDiagnostic",
+]
+
+
+def is_class_k(
+    gamma: Callable[[float], float],
+    grid: Sequence[float] | None = None,
+    *,
+    atol: float = 1e-12,
+) -> bool:
+    """Check numerically that ``gamma`` behaves like a class-K function.
+
+    A class-K function is continuous, strictly increasing, and zero at zero.
+    The check evaluates ``gamma`` on ``grid`` (default: 100 points spanning
+    ``[0, 10]``), requiring ``gamma(0) == 0``, non-negativity, and strict
+    monotonicity between consecutive grid points.
+    """
+    points = np.asarray(
+        grid if grid is not None else np.linspace(0.0, 10.0, 101), dtype=float
+    )
+    if points.size < 2 or points[0] != 0.0:
+        raise ValueError("grid must start at 0 and contain at least two points")
+    values = np.array([float(gamma(point)) for point in points])
+    if abs(values[0]) > atol:
+        return False
+    if np.any(values < -atol):
+        return False
+    return bool(np.all(np.diff(values) > atol))
+
+
+def is_class_kl(
+    beta: Callable[[float, float], float],
+    s_grid: Sequence[float] | None = None,
+    t_grid: Sequence[float] | None = None,
+    *,
+    decay_tolerance: float = 1e-3,
+) -> bool:
+    """Check numerically that ``beta`` behaves like a class-KL function.
+
+    For each fixed ``t`` the map ``s -> beta(s, t)`` must be class K, and for
+    each fixed ``s`` the map ``t -> beta(s, t)`` must be non-increasing and
+    decay towards zero (below ``decay_tolerance`` at the last grid time).
+    """
+    s_points = np.asarray(
+        s_grid if s_grid is not None else np.linspace(0.0, 5.0, 26), dtype=float
+    )
+    t_points = np.asarray(
+        t_grid if t_grid is not None else np.linspace(0.0, 50.0, 26), dtype=float
+    )
+    for t in t_points:
+        if not is_class_k(lambda s, _t=t: beta(s, _t), grid=s_points):
+            return False
+    for s in s_points[1:]:
+        values = np.array([float(beta(s, t)) for t in t_points])
+        if np.any(np.diff(values) > 1e-9):
+            return False
+        if values[-1] > max(decay_tolerance, decay_tolerance * values[0]):
+            return False
+    return True
+
+
+def estimate_contraction_rate(
+    step: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    state_dimension: int,
+    input_dimension: int,
+    num_samples: int = 200,
+    state_scale: float = 1.0,
+    input_scale: float = 1.0,
+    rng: int | np.random.Generator | None = None,
+) -> float:
+    """Estimate ``sup ||F(x, u) - F(y, u)|| / ||x - y||`` by sampling.
+
+    A value below one indicates the map is a uniform contraction in the
+    state on the sampled region — the key ingredient for incremental ISS of
+    the unforced difference dynamics.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    generator = spawn_generator(rng)
+    worst = 0.0
+    for _ in range(num_samples):
+        x = (generator.random(state_dimension) * 2.0 - 1.0) * state_scale
+        y = (generator.random(state_dimension) * 2.0 - 1.0) * state_scale
+        u = (generator.random(input_dimension) * 2.0 - 1.0) * input_scale
+        gap = float(np.linalg.norm(x - y))
+        if gap == 0.0:
+            continue
+        image_gap = float(
+            np.linalg.norm(
+                np.asarray(step(x, u), dtype=float) - np.asarray(step(y, u), dtype=float)
+            )
+        )
+        worst = max(worst, image_gap / gap)
+    return worst
+
+
+@dataclass(frozen=True)
+class IncrementalISSDiagnostic:
+    """Result of the sampled incremental-ISS check.
+
+    Attributes
+    ----------
+    contraction_rate:
+        Sampled state-contraction rate of ``F``.
+    input_gain:
+        Sampled sensitivity of ``F`` to input differences
+        (``sup ||F(x, u) - F(x, v)|| / ||u - v||``).
+    trajectories_converge:
+        Whether simulated trajectory pairs driven by identical inputs
+        approached each other to within ``convergence_tolerance``.
+    convergence_tolerance:
+        Tolerance used for the trajectory check.
+    """
+
+    contraction_rate: float
+    input_gain: float
+    trajectories_converge: bool
+    convergence_tolerance: float
+
+    @property
+    def consistent_with_incremental_iss(self) -> bool:
+        """Return whether the sampled evidence supports incremental ISS."""
+        return self.contraction_rate < 1.0 and self.trajectories_converge
+
+
+def incremental_iss_diagnostic(
+    step: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    state_dimension: int,
+    input_dimension: int,
+    *,
+    horizon: int = 200,
+    num_samples: int = 100,
+    num_trajectory_pairs: int = 5,
+    state_scale: float = 1.0,
+    input_scale: float = 1.0,
+    convergence_tolerance: float = 1e-3,
+    rng: int | np.random.Generator | None = None,
+) -> IncrementalISSDiagnostic:
+    """Run a sampled incremental-ISS check of ``x(k+1) = F(x(k), u(k))``.
+
+    Two ingredients are combined: a sampled contraction-rate / input-gain
+    estimate, and a direct simulation of ``num_trajectory_pairs`` pairs of
+    trajectories driven by the *same* random input sequence from different
+    initial conditions, which must converge to each other when the system is
+    incrementally ISS.
+    """
+    generator = spawn_generator(rng)
+    contraction_rate = estimate_contraction_rate(
+        step,
+        state_dimension,
+        input_dimension,
+        num_samples=num_samples,
+        state_scale=state_scale,
+        input_scale=input_scale,
+        rng=generator,
+    )
+    # Sampled input gain.
+    input_gain = 0.0
+    for _ in range(num_samples):
+        x = (generator.random(state_dimension) * 2.0 - 1.0) * state_scale
+        u = (generator.random(input_dimension) * 2.0 - 1.0) * input_scale
+        v = (generator.random(input_dimension) * 2.0 - 1.0) * input_scale
+        gap = float(np.linalg.norm(u - v))
+        if gap == 0.0:
+            continue
+        image_gap = float(
+            np.linalg.norm(
+                np.asarray(step(x, u), dtype=float) - np.asarray(step(x, v), dtype=float)
+            )
+        )
+        input_gain = max(input_gain, image_gap / gap)
+    # Trajectory convergence under common inputs.
+    converged = True
+    for _ in range(num_trajectory_pairs):
+        x = (generator.random(state_dimension) * 2.0 - 1.0) * state_scale
+        y = (generator.random(state_dimension) * 2.0 - 1.0) * state_scale
+        inputs = (generator.random((horizon, input_dimension)) * 2.0 - 1.0) * input_scale
+        for k in range(horizon):
+            x = np.asarray(step(x, inputs[k]), dtype=float)
+            y = np.asarray(step(y, inputs[k]), dtype=float)
+        if float(np.linalg.norm(x - y)) > convergence_tolerance:
+            converged = False
+            break
+    return IncrementalISSDiagnostic(
+        contraction_rate=contraction_rate,
+        input_gain=input_gain,
+        trajectories_converge=converged,
+        convergence_tolerance=convergence_tolerance,
+    )

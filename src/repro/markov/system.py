@@ -1,0 +1,212 @@
+"""Markov systems in the sense of Werner (2004).
+
+A Markov system is a family ``(X_{i(e)}, w_e, p_e)_{e in E}`` where ``E`` is
+the edge set of a finite directed (multi)graph on vertices ``V``; each edge
+``e`` carries a Borel map ``w_e`` that sends the partition cell of its
+initial vertex into the cell of its terminal vertex, and a place-dependent
+probability ``p_e(x) >= 0`` with ``sum_{e out of i(e)} p_e(x) = 1``.  The
+paper's Appendix reproduces this construction verbatim; this module turns it
+into an executable object with simulation, graph-structure queries, and an
+average-contractivity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.markov.maps import StateMap
+from repro.utils.rng import spawn_generator
+
+__all__ = ["MarkovEdge", "MarkovSystem"]
+
+
+@dataclass(frozen=True)
+class MarkovEdge:
+    """One edge of a Markov system.
+
+    Attributes
+    ----------
+    source, target:
+        Vertex indices the edge connects (``i(e)`` and ``t(e)`` in the
+        paper's notation).
+    state_map:
+        The Borel map ``w_e`` applied to the state when the edge fires.
+    probability:
+        The place-dependent probability ``p_e`` as a callable of the state.
+        Constants may be passed as plain floats.
+    label:
+        Optional human-readable identifier.
+    """
+
+    source: int
+    target: int
+    state_map: StateMap
+    probability: Callable[[np.ndarray], float] | float
+    label: str = ""
+
+    def probability_at(self, state: np.ndarray) -> float:
+        """Evaluate ``p_e`` at ``state`` (constant probabilities allowed)."""
+        if callable(self.probability):
+            return float(self.probability(state))
+        return float(self.probability)
+
+
+class MarkovSystem:
+    """An executable Markov system over a finite vertex set.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``N`` of the underlying directed graph.
+    edges:
+        The edges, each a :class:`MarkovEdge`.
+    vertex_of_state:
+        Callable mapping a state vector to the index of the partition cell
+        that contains it.  For the common single-vertex case (``N == 1``,
+        an ordinary place-dependent IFS) the default always returns 0.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Sequence[MarkovEdge],
+        vertex_of_state: Callable[[np.ndarray], int] | None = None,
+    ) -> None:
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        if not edges:
+            raise ValueError("a Markov system needs at least one edge")
+        for edge in edges:
+            if not (0 <= edge.source < num_vertices and 0 <= edge.target < num_vertices):
+                raise ValueError(
+                    f"edge {edge.label!r} references vertex outside 0..{num_vertices - 1}"
+                )
+        self._num_vertices = num_vertices
+        self._edges: Tuple[MarkovEdge, ...] = tuple(edges)
+        self._vertex_of_state = vertex_of_state or (lambda _state: 0)
+        self._outgoing: Dict[int, List[int]] = {v: [] for v in range(num_vertices)}
+        for index, edge in enumerate(self._edges):
+            self._outgoing[edge.source].append(index)
+        for vertex, indices in self._outgoing.items():
+            if not indices:
+                raise ValueError(f"vertex {vertex} has no outgoing edge")
+
+    @property
+    def num_vertices(self) -> int:
+        """Return the number of vertices of the underlying graph."""
+        return self._num_vertices
+
+    @property
+    def edges(self) -> Tuple[MarkovEdge, ...]:
+        """Return the edges of the system."""
+        return self._edges
+
+    def vertex_of(self, state: np.ndarray) -> int:
+        """Return the index of the partition cell containing ``state``."""
+        return int(self._vertex_of_state(np.atleast_1d(np.asarray(state, dtype=float))))
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Return the 0/1 adjacency matrix of the underlying directed graph."""
+        matrix = np.zeros((self._num_vertices, self._num_vertices), dtype=float)
+        for edge in self._edges:
+            matrix[edge.source, edge.target] = 1.0
+        return matrix
+
+    def outgoing_edges(self, vertex: int) -> Tuple[MarkovEdge, ...]:
+        """Return the edges leaving ``vertex``."""
+        return tuple(self._edges[index] for index in self._outgoing[vertex])
+
+    def edge_probabilities(self, state: np.ndarray) -> np.ndarray:
+        """Return the probabilities of the edges leaving the state's vertex.
+
+        The probabilities are renormalised defensively; a vertex whose
+        outgoing probabilities sum to zero at ``state`` raises
+        :class:`ValueError` because the process would be stuck.
+        """
+        vertex = self.vertex_of(state)
+        edges = self.outgoing_edges(vertex)
+        raw = np.array([edge.probability_at(state) for edge in edges], dtype=float)
+        if np.any(raw < -1e-12):
+            raise ValueError("edge probabilities must be non-negative")
+        total = raw.sum()
+        if total <= 0:
+            raise ValueError(f"no admissible edge at state {state!r}")
+        return np.clip(raw, 0.0, None) / total
+
+    def step(
+        self, state: np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> Tuple[np.ndarray, MarkovEdge]:
+        """Advance the system by one step from ``state``.
+
+        Returns the next state and the edge that fired.
+        """
+        generator = spawn_generator(rng)
+        vector = np.atleast_1d(np.asarray(state, dtype=float))
+        vertex = self.vertex_of(vector)
+        edges = self.outgoing_edges(vertex)
+        probabilities = self.edge_probabilities(vector)
+        index = int(generator.choice(len(edges), p=probabilities))
+        chosen = edges[index]
+        return np.atleast_1d(np.asarray(chosen.state_map(vector), dtype=float)), chosen
+
+    def orbit(
+        self,
+        initial_state: np.ndarray,
+        length: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Simulate an orbit of ``length`` steps starting from ``initial_state``.
+
+        The result stacks the visited states (including the initial one) into
+        an array of shape ``(length + 1, state_dimension)``.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        generator = spawn_generator(rng)
+        state = np.atleast_1d(np.asarray(initial_state, dtype=float))
+        states = [state.copy()]
+        for _ in range(length):
+            state, _edge = self.step(state, generator)
+            states.append(state.copy())
+        return np.vstack(states)
+
+    def average_contractivity(
+        self,
+        state_pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> float:
+        """Estimate the average contraction factor over given state pairs.
+
+        For each pair ``(x, y)`` in the same partition cell the quantity
+
+            sum_e p_e(x) * d(w_e(x), w_e(y)) / d(x, y)
+
+        is evaluated; the maximum over pairs is returned.  A value strictly
+        below one certifies the average-contractivity condition of Werner
+        (2004) on the sampled pairs.
+        """
+        worst = 0.0
+        for x, y in state_pairs:
+            x_vec = np.atleast_1d(np.asarray(x, dtype=float))
+            y_vec = np.atleast_1d(np.asarray(y, dtype=float))
+            if self.vertex_of(x_vec) != self.vertex_of(y_vec):
+                raise ValueError("state pairs must lie in the same partition cell")
+            distance = float(np.linalg.norm(x_vec - y_vec))
+            if distance == 0.0:
+                continue
+            vertex = self.vertex_of(x_vec)
+            edges = self.outgoing_edges(vertex)
+            probabilities = self.edge_probabilities(x_vec)
+            contracted = 0.0
+            for edge, probability in zip(edges, probabilities):
+                image_distance = float(
+                    np.linalg.norm(
+                        np.asarray(edge.state_map(x_vec), dtype=float)
+                        - np.asarray(edge.state_map(y_vec), dtype=float)
+                    )
+                )
+                contracted += probability * image_distance
+            worst = max(worst, contracted / distance)
+        return worst

@@ -1,0 +1,66 @@
+"""Score scaling: converting log odds into conventional scorecard points.
+
+Industry scorecards rarely report raw log odds; they rescale them so that a
+chosen base score corresponds to chosen base odds and a fixed number of
+points doubles the odds (PDO).  The paper works directly in log-odds units,
+but the scaler is provided so the library's scorecards can be presented in
+either convention — and so the cut-off of 0.4 log odds can be translated
+into a conventional points cut-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = ["ScoreScaler"]
+
+
+@dataclass(frozen=True)
+class ScoreScaler:
+    """Affine map from log odds to scorecard points.
+
+    Attributes
+    ----------
+    base_score:
+        Points assigned at ``base_odds`` (e.g. 600 points at odds 30:1).
+    base_odds:
+        Odds of being good at the base score.
+    points_to_double_odds:
+        Points added whenever the odds double (PDO; e.g. 20).
+    """
+
+    base_score: float = 600.0
+    base_odds: float = 30.0
+    points_to_double_odds: float = 20.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.base_odds, "base_odds")
+        require_positive(self.points_to_double_odds, "points_to_double_odds")
+
+    @property
+    def factor(self) -> float:
+        """Return the multiplicative factor applied to log odds."""
+        return self.points_to_double_odds / float(np.log(2.0))
+
+    @property
+    def offset(self) -> float:
+        """Return the additive offset of the scaling."""
+        return self.base_score - self.factor * float(np.log(self.base_odds))
+
+    def points_from_log_odds(self, log_odds: Sequence[float] | np.ndarray | float) -> np.ndarray:
+        """Convert log odds into scorecard points."""
+        return self.offset + self.factor * np.asarray(log_odds, dtype=float)
+
+    def log_odds_from_points(self, points: Sequence[float] | np.ndarray | float) -> np.ndarray:
+        """Convert scorecard points back into log odds."""
+        return (np.asarray(points, dtype=float) - self.offset) / self.factor
+
+    def probability_from_points(self, points: Sequence[float] | np.ndarray | float) -> np.ndarray:
+        """Return the probability of being good implied by the points."""
+        log_odds = self.log_odds_from_points(points)
+        return 1.0 / (1.0 + np.exp(-np.clip(log_odds, -30.0, 30.0)))

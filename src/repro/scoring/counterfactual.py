@@ -1,0 +1,126 @@
+"""Counterfactual explanations for scorecard decisions.
+
+Section VII of the paper notes that, alongside scorecards, counterfactual
+explanations are the other route to the "statements of specific reasons for
+adverse credit decisions" the Equal Credit Opportunity Act requires: they
+tell a declined applicant the smallest change that would have flipped the
+decision.  For a linear scorecard the computation is exact: the score
+shortfall divided by the factor's points gives the required movement in
+that factor.
+
+:func:`explain_decision` produces one :class:`CounterfactualExplanation` per
+actionable factor, sorted by how small the required change is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.scoring.scorecard import Scorecard
+
+__all__ = ["CounterfactualExplanation", "explain_decision"]
+
+
+@dataclass(frozen=True)
+class CounterfactualExplanation:
+    """The smallest change in one factor that flips the decision.
+
+    Attributes
+    ----------
+    factor:
+        Name of the factor to change.
+    current_value:
+        The applicant's current (transformed) value of the factor.
+    required_value:
+        The value of the factor at which the score reaches the cut-off,
+        holding every other factor fixed.
+    change:
+        ``required_value - current_value``.
+    achievable:
+        Whether the required value respects the factor's declared bounds.
+    """
+
+    factor: str
+    current_value: float
+    required_value: float
+    change: float
+    achievable: bool
+
+    def describe(self) -> str:
+        """Return a one-line human-readable recommendation."""
+        direction = "increase" if self.change > 0 else "decrease"
+        feasibility = "" if self.achievable else " (outside the feasible range)"
+        return (
+            f"{direction} {self.factor} from {self.current_value:.4g} "
+            f"to {self.required_value:.4g}{feasibility}"
+        )
+
+
+def explain_decision(
+    scorecard: Scorecard,
+    features: Mapping[str, float],
+    cutoff: float,
+    bounds: Mapping[str, Tuple[float, float]] | None = None,
+    margin: float = 1e-9,
+) -> Sequence[CounterfactualExplanation]:
+    """Explain how a declined applicant could cross the cut-off.
+
+    Parameters
+    ----------
+    scorecard:
+        The linear scorecard that produced the decision.  Factors with a
+        ``transform`` are explained in terms of the *transformed* value (the
+        quantity the points actually multiply), because the raw-to-
+        transformed mapping need not be invertible.
+    features:
+        The applicant's raw factor values, keyed by factor name.
+    cutoff:
+        The decision cut-off the score must exceed.
+    bounds:
+        Optional feasible range per factor (in transformed units); a
+        counterfactual outside the range is reported with
+        ``achievable=False``.  Defaults assume default rates live in
+        ``[0, 1]`` and indicator factors in ``{0, 1}``.
+    margin:
+        How far above the cut-off the counterfactual score should land.
+
+    Returns
+    -------
+    Sequence[CounterfactualExplanation]
+        One explanation per factor with non-zero points, sorted by the
+        absolute size of the required change.  An applicant who is already
+        above the cut-off gets an empty sequence.
+    """
+    current_score = scorecard.score(features)
+    if current_score > cutoff:
+        return []
+    shortfall = cutoff - current_score + margin
+    bounds = bounds or {}
+    explanations = []
+    for factor in scorecard.factors:
+        if factor.points == 0.0:
+            continue
+        raw_value = float(features[factor.name])
+        transformed = (
+            float(factor.transform(raw_value)) if factor.transform is not None else raw_value
+        )
+        required = transformed + shortfall / factor.points
+        if factor.name in bounds:
+            low, high = bounds[factor.name]
+        elif factor.transform is not None:
+            low, high = 0.0, 1.0
+        elif "rate" in factor.name:
+            low, high = 0.0, 1.0
+        else:
+            low, high = float("-inf"), float("inf")
+        explanations.append(
+            CounterfactualExplanation(
+                factor=factor.name,
+                current_value=transformed,
+                required_value=required,
+                change=required - transformed,
+                achievable=bool(low - 1e-12 <= required <= high + 1e-12),
+            )
+        )
+    return sorted(explanations, key=lambda explanation: abs(explanation.change))

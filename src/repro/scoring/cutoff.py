@@ -1,0 +1,45 @@
+"""Cut-off decision rules.
+
+A scorecard only produces a score; the lender converts scores into approve /
+deny decisions by comparing against a cut-off.  The paper fixes the cut-off
+at 0.4 on the log-odds score for every year of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CutoffPolicy"]
+
+
+@dataclass(frozen=True)
+class CutoffPolicy:
+    """Approve when the score strictly exceeds ``cutoff``.
+
+    Attributes
+    ----------
+    cutoff:
+        The decision threshold on the score (paper default 0.4).
+    approve_on_tie:
+        Whether a score exactly equal to the cut-off is approved.
+    """
+
+    cutoff: float = 0.4
+    approve_on_tie: bool = False
+
+    def decide(self, scores: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Return 0/1 decisions (1 = approve) for each score."""
+        array = np.asarray(scores, dtype=float)
+        if self.approve_on_tie:
+            return (array >= self.cutoff).astype(int)
+        return (array > self.cutoff).astype(int)
+
+    def approval_rate(self, scores: Sequence[float] | np.ndarray) -> float:
+        """Return the fraction of scores that would be approved."""
+        decisions = self.decide(scores)
+        if decisions.size == 0:
+            raise ValueError("scores must be non-empty")
+        return float(decisions.mean())

@@ -1,0 +1,138 @@
+"""Weight-of-evidence (WOE) binning and information value.
+
+Scorecard practice (which the paper's Table I abstracts) usually converts
+continuous factors into bins, replaces each bin by its weight of evidence
+
+    WOE(bin) = ln( share of goods in bin / share of bads in bin ),
+
+and summarises the factor's predictive strength by the information value
+
+    IV = sum over bins of (share of goods - share of bads) * WOE.
+
+This module provides equal-frequency binning with WOE assignment and the IV
+summary; it is used by the extended examples to build richer scorecards than
+the two-factor card of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["WoeBin", "WoeBinning", "information_value"]
+
+_EPSILON = 0.5  # Laplace-style smoothing of empty bins, in observation counts
+
+
+@dataclass(frozen=True)
+class WoeBin:
+    """One bin of a WOE binning.
+
+    Attributes
+    ----------
+    lower, upper:
+        Bin boundaries; the bin covers ``[lower, upper)`` except for the last
+        bin, which is closed on the right.
+    woe:
+        Weight of evidence of the bin.
+    good_share, bad_share:
+        Smoothed shares of good (label 1) and bad (label 0) observations
+        falling in the bin.
+    count:
+        Number of observations in the bin.
+    """
+
+    lower: float
+    upper: float
+    woe: float
+    good_share: float
+    bad_share: float
+    count: int
+
+
+class WoeBinning:
+    """Equal-frequency WOE binning of one continuous factor."""
+
+    def __init__(self, num_bins: int = 5) -> None:
+        if num_bins < 2:
+            raise ValueError("num_bins must be at least 2")
+        self._num_bins = num_bins
+        self._bins: Tuple[WoeBin, ...] | None = None
+        self._edges: np.ndarray | None = None
+
+    @property
+    def bins(self) -> Tuple[WoeBin, ...]:
+        """Return the fitted bins, raising if :meth:`fit` has not been called."""
+        if self._bins is None:
+            raise RuntimeError("the binning has not been fitted yet")
+        return self._bins
+
+    def fit(
+        self, values: Sequence[float] | np.ndarray, labels: Sequence[int] | np.ndarray
+    ) -> "WoeBinning":
+        """Fit the binning on factor values and binary labels (1 = good)."""
+        x = np.asarray(values, dtype=float).ravel()
+        y = np.asarray(labels, dtype=float).ravel()
+        if x.shape != y.shape or x.size == 0:
+            raise ValueError("values and labels must be non-empty and aligned")
+        if np.any((y != 0.0) & (y != 1.0)):
+            raise ValueError("labels must be binary (0 or 1)")
+        quantiles = np.linspace(0.0, 1.0, self._num_bins + 1)
+        edges = np.unique(np.quantile(x, quantiles))
+        if edges.size < 2:
+            edges = np.array([x.min(), x.max() + 1.0])
+        self._edges = edges
+        total_good = float(y.sum())
+        total_bad = float((1.0 - y).sum())
+        bins = []
+        for index in range(edges.size - 1):
+            lower, upper = float(edges[index]), float(edges[index + 1])
+            if index == edges.size - 2:
+                mask = (x >= lower) & (x <= upper)
+            else:
+                mask = (x >= lower) & (x < upper)
+            goods = float(y[mask].sum()) + _EPSILON
+            bads = float((1.0 - y[mask]).sum()) + _EPSILON
+            good_share = goods / (total_good + _EPSILON * (edges.size - 1))
+            bad_share = bads / (total_bad + _EPSILON * (edges.size - 1))
+            bins.append(
+                WoeBin(
+                    lower=lower,
+                    upper=upper,
+                    woe=float(np.log(good_share / bad_share)),
+                    good_share=good_share,
+                    bad_share=bad_share,
+                    count=int(mask.sum()),
+                )
+            )
+        self._bins = tuple(bins)
+        return self
+
+    def transform(self, values: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Replace each value by the WOE of the bin it falls into.
+
+        Values outside the fitted range are assigned to the nearest boundary
+        bin.
+        """
+        bins = self.bins
+        x = np.asarray(values, dtype=float).ravel()
+        woes = np.empty_like(x)
+        lowers = np.array([b.lower for b in bins])
+        for position, value in enumerate(x):
+            index = int(np.searchsorted(lowers, value, side="right")) - 1
+            index = min(max(index, 0), len(bins) - 1)
+            woes[position] = bins[index].woe
+        return woes
+
+
+def information_value(binning: WoeBinning) -> float:
+    """Return the information value of a fitted WOE binning.
+
+    Conventional reading: below 0.02 the factor is useless, 0.02-0.1 weak,
+    0.1-0.3 medium, above 0.3 strong.
+    """
+    return float(
+        sum((b.good_share - b.bad_share) * b.woe for b in binning.bins)
+    )

@@ -1,0 +1,113 @@
+"""Time-series statistics used throughout the equal-impact analysis.
+
+The central quantity in the paper is the Cesàro (running time) average
+
+    (1 / (k + 1)) * sum_{j=0..k} y_i(j),
+
+whose convergence to a user-independent constant *is* equal impact
+(Definition 3).  The helpers here compute running averages, detect
+convergence of their tails, and quantify dispersion across users.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "running_mean",
+    "cesaro_averages",
+    "time_average",
+    "tail_dispersion",
+    "max_pairwise_gap",
+    "gini_coefficient",
+]
+
+
+def running_mean(values: Sequence[float]) -> np.ndarray:
+    """Return the running mean of ``values``.
+
+    Element ``k`` of the result equals ``mean(values[: k + 1])``.  The input
+    must be non-empty.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    return np.cumsum(array) / np.arange(1, array.size + 1)
+
+
+def cesaro_averages(series: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Return Cesàro averages of ``series`` along ``axis``.
+
+    ``series`` may be any array of per-step observations; the result has the
+    same shape, with entry ``k`` along ``axis`` equal to the mean of entries
+    ``0..k``.  This is the vectorised, multi-user counterpart of
+    :func:`running_mean`.
+    """
+    array = np.asarray(series, dtype=float)
+    if array.size == 0:
+        raise ValueError("series must be non-empty")
+    length = array.shape[axis]
+    counts_shape = [1] * array.ndim
+    counts_shape[axis] = length
+    counts = np.arange(1, length + 1, dtype=float).reshape(counts_shape)
+    return np.cumsum(array, axis=axis) / counts
+
+
+def time_average(series: Sequence[float]) -> float:
+    """Return the plain time average of a scalar series."""
+    array = np.asarray(series, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("series must be a non-empty 1-D sequence")
+    return float(array.mean())
+
+
+def tail_dispersion(series: Sequence[float], tail_fraction: float = 0.25) -> float:
+    """Return the standard deviation of the trailing part of ``series``.
+
+    A small tail dispersion of a running average is the practical signature
+    of convergence to a limit: once the Cesàro average has settled, its last
+    ``tail_fraction`` of samples barely move.
+    """
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must lie in (0, 1]")
+    array = np.asarray(series, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("series must be a non-empty 1-D sequence")
+    tail_length = max(1, int(round(array.size * tail_fraction)))
+    return float(np.std(array[-tail_length:]))
+
+
+def max_pairwise_gap(values: Sequence[float]) -> float:
+    """Return ``max(values) - min(values)``.
+
+    Applied to the vector of per-user long-run averages ``r_i`` this is the
+    natural scalar violation measure for equal impact: the definition holds
+    exactly when the gap is zero.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    return float(array.max() - array.min())
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Return the Gini coefficient of a non-negative vector.
+
+    Used as an inequality summary of long-run outcomes across users; zero
+    means perfectly equal impact, values near one mean the outcome is
+    concentrated on few users.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    if np.any(array < 0):
+        raise ValueError("values must be non-negative")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(array)
+    n = sorted_values.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * sorted_values) / (n * total)) - (n + 1) / n)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.census import default_income_table
+from repro.data.synthetic import PopulationSpec, generate_population
+from repro.experiments.config import CaseStudyConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> CaseStudyConfig:
+    """A scaled-down case-study configuration that runs in well under a second."""
+    return CaseStudyConfig(num_users=80, num_trials=2, seed=99)
+
+
+@pytest.fixture
+def tiny_config() -> CaseStudyConfig:
+    """An even smaller configuration for tests that run many simulations."""
+    return CaseStudyConfig(num_users=40, num_trials=1, seed=7)
+
+
+@pytest.fixture(scope="session")
+def income_table():
+    """The embedded synthetic income table (deterministic, safe to share)."""
+    return default_income_table()
+
+
+@pytest.fixture
+def small_population(rng):
+    """A small synthetic population with the paper's race mix."""
+    return generate_population(PopulationSpec(size=60), rng)

@@ -1,0 +1,65 @@
+"""Tests for repro.control.exploration (epsilon-greedy wrapper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.exploration import EpsilonGreedyPolicy
+from repro.core.ai_system import AISystem, ConstantDecisionSystem
+
+
+def observation_for(num_users: int):
+    return {"user_default_rates": np.zeros(num_users), "portfolio_rate": 0.0}
+
+
+class TestEpsilonGreedyPolicy:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(EpsilonGreedyPolicy(ConstantDecisionSystem()), AISystem)
+
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyPolicy(ConstantDecisionSystem(), epsilon=1.5)
+
+    def test_epsilon_zero_never_changes_the_base_decisions(self):
+        policy = EpsilonGreedyPolicy(ConstantDecisionSystem(decision=0), epsilon=0.0)
+        decisions = policy.decide({"income": np.ones(50)}, observation_for(50), 0)
+        np.testing.assert_array_equal(decisions, np.zeros(50))
+
+    def test_epsilon_one_approves_everyone(self):
+        policy = EpsilonGreedyPolicy(ConstantDecisionSystem(decision=0), epsilon=1.0)
+        decisions = policy.decide({"income": np.ones(50)}, observation_for(50), 0)
+        np.testing.assert_array_equal(decisions, np.ones(50))
+        np.testing.assert_array_equal(policy.explored_last_round, np.ones(50))
+
+    def test_approvals_are_never_flipped_to_denials(self):
+        policy = EpsilonGreedyPolicy(ConstantDecisionSystem(decision=1), epsilon=0.9)
+        decisions = policy.decide({"income": np.ones(50)}, observation_for(50), 0)
+        np.testing.assert_array_equal(decisions, np.ones(50))
+        assert policy.explored_last_round.sum() == 0
+
+    def test_exploration_frequency_matches_epsilon(self):
+        policy = EpsilonGreedyPolicy(ConstantDecisionSystem(decision=0), epsilon=0.25, seed=1)
+        explored_counts = []
+        for k in range(50):
+            policy.decide({"income": np.ones(400)}, observation_for(400), k)
+            explored_counts.append(policy.explored_last_round.mean())
+        assert np.mean(explored_counts) == pytest.approx(0.25, abs=0.02)
+
+    def test_update_is_delegated_to_the_base_policy(self):
+        class RecordingSystem(ConstantDecisionSystem):
+            def __init__(self):
+                super().__init__(decision=0)
+                self.updates = 0
+
+            def update(self, public_features, decisions, actions, observation, k):
+                self.updates += 1
+
+        base = RecordingSystem()
+        policy = EpsilonGreedyPolicy(base, epsilon=0.1)
+        policy.update({"income": np.ones(3)}, np.ones(3), np.ones(3), observation_for(3), 0)
+        assert base.updates == 1
+
+    def test_base_policy_accessor(self):
+        base = ConstantDecisionSystem()
+        assert EpsilonGreedyPolicy(base).base_policy is base

@@ -1,0 +1,110 @@
+"""Tests for repro.control.steering (the equal-impact steering policy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.steering import ImpactSteeringPolicy
+from repro.core.ai_system import AISystem, CreditScoringSystem
+from repro.credit.lender import Lender
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import run_trial
+
+
+def observation_for(rates):
+    rates_array = np.asarray(rates, dtype=float)
+    return {"user_default_rates": rates_array, "portfolio_rate": float(rates_array.mean())}
+
+
+def trained_policy(gain: float, num_users: int = 200, seed: int = 0) -> ImpactSteeringPolicy:
+    """Return a steering policy whose lender has been through one training round.
+
+    The training round includes variation in the previous default rate, so
+    the fitted card carries a clearly negative default-history weight and a
+    user with a poor history is genuinely rejected by the unsteered card.
+    """
+    rng = np.random.default_rng(seed)
+    policy = ImpactSteeringPolicy(gain=gain, lender=Lender(warm_up_rounds=1))
+    incomes = rng.uniform(5.0, 120.0, num_users)
+    previous_rates = rng.uniform(0.0, 0.9, num_users)
+    observation = observation_for(previous_rates)
+    decisions = policy.decide({"income": incomes}, observation, 0)  # warm-up
+    actions = ((incomes > 20.0) & (previous_rates < 0.4)).astype(float)
+    policy.update({"income": incomes}, decisions, actions, observation, 0)
+    return policy
+
+
+class TestImpactSteeringPolicy:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(ImpactSteeringPolicy(), AISystem)
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            ImpactSteeringPolicy(gain=-1.0)
+
+    def test_zero_gain_matches_the_plain_scorecard(self):
+        rng = np.random.default_rng(1)
+        num_users = 200
+        incomes = rng.uniform(5.0, 120.0, num_users)
+        actions = (incomes > 20.0).astype(float)
+        observation = observation_for(np.zeros(num_users))
+
+        plain = CreditScoringSystem(Lender(warm_up_rounds=1))
+        steered = ImpactSteeringPolicy(gain=0.0, lender=Lender(warm_up_rounds=1))
+        for system in (plain, steered):
+            decisions = system.decide({"income": incomes}, observation, 0)
+            system.update({"income": incomes}, decisions, actions, observation, 0)
+        next_observation = observation_for(1.0 - actions)
+        np.testing.assert_array_equal(
+            plain.decide({"income": incomes}, next_observation, 1),
+            steered.decide({"income": incomes}, next_observation, 1),
+        )
+
+    def test_boost_targets_users_with_above_average_default_rates(self):
+        policy = trained_policy(gain=10.0)
+        num_users = 200
+        incomes = np.full(num_users, 60.0)
+        rates = np.zeros(num_users)
+        rates[:20] = 0.9  # a minority with poor histories
+        policy.decide({"income": incomes}, observation_for(rates), 1)
+        boost = policy.last_boost
+        assert boost is not None
+        assert np.all(boost[:20] > 0)
+        assert np.all(boost[20:] == 0)
+
+    def test_high_gain_approves_users_the_plain_card_rejects(self):
+        num_users = 200
+        incomes = np.full(num_users, 60.0)
+        rates = np.zeros(num_users)
+        rates[:20] = 0.9
+
+        plain = trained_policy(gain=0.0, seed=3)
+        steered = trained_policy(gain=50.0, seed=3)
+        plain_decisions = plain.decide({"income": incomes}, observation_for(rates), 1)
+        steered_decisions = steered.decide({"income": incomes}, observation_for(rates), 1)
+        assert steered_decisions[:20].sum() > plain_decisions[:20].sum()
+
+    def test_warm_up_round_applies_no_boost(self):
+        policy = ImpactSteeringPolicy(gain=10.0, lender=Lender(warm_up_rounds=1))
+        decisions = policy.decide(
+            {"income": np.array([10.0, 50.0])}, observation_for([0.0, 0.5]), 0
+        )
+        np.testing.assert_array_equal(decisions, [1.0, 1.0])
+        np.testing.assert_array_equal(policy.last_boost, [0.0, 0.0])
+
+    def test_steering_reduces_the_final_user_spread_in_the_loop(self):
+        config = CaseStudyConfig(num_users=150, num_trials=1, seed=17)
+        plain = run_trial(config, trial_index=0)
+        steered = run_trial(
+            config,
+            trial_index=0,
+            policy_factory=lambda cfg, pop: ImpactSteeringPolicy(
+                gain=5.0, lender=Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+        )
+        plain_spread = plain.user_default_rates[-1].max() - plain.user_default_rates[-1].min()
+        steered_spread = (
+            steered.user_default_rates[-1].max() - steered.user_default_rates[-1].min()
+        )
+        assert steered_spread <= plain_spread + 1e-9

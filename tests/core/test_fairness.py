@@ -1,0 +1,112 @@
+"""Tests for repro.core.fairness (Definitions 1-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import equal_impact_assessment, equal_treatment_assessment
+from repro.data.census import Race
+
+
+class TestEqualTreatment:
+    def test_uniform_signal_and_equal_responses_satisfy_definition_1(self):
+        decisions = np.ones((10, 4))
+        responses = np.tile(np.array([0.5, 0.5, 0.5, 0.5]), (10, 1))
+        assessment = equal_treatment_assessment(decisions, responses)
+        assert assessment.uniform_signal
+        assert assessment.max_response_gap == pytest.approx(0.0)
+        assert assessment.satisfied
+
+    def test_non_uniform_signal_violates_definition_1(self):
+        decisions = np.ones((5, 2))
+        decisions[2, 1] = 0.0
+        responses = np.ones((5, 2))
+        assessment = equal_treatment_assessment(decisions, responses)
+        assert not assessment.uniform_signal
+        assert not assessment.satisfied
+        assert assessment.per_step_signal_gap[2] == pytest.approx(1.0)
+
+    def test_unequal_responses_violate_definition_1(self):
+        decisions = np.ones((20, 2))
+        responses = np.column_stack([np.ones(20), np.zeros(20)])
+        assessment = equal_treatment_assessment(decisions, responses, tolerance=0.1)
+        assert assessment.uniform_signal
+        assert assessment.max_response_gap == pytest.approx(1.0)
+        assert not assessment.satisfied
+
+    def test_group_conditioning_compares_group_means(self):
+        decisions = np.ones((10, 4))
+        responses = np.column_stack(
+            [np.ones(10), np.ones(10), np.zeros(10), np.zeros(10)]
+        )
+        groups = {Race.BLACK: np.array([0, 1]), Race.WHITE: np.array([2, 3])}
+        assessment = equal_treatment_assessment(decisions, responses, groups=groups)
+        assert assessment.max_response_gap == pytest.approx(1.0)
+        assert set(assessment.mean_responses) == set(groups)
+
+    def test_shape_mismatch_is_rejected(self):
+        with pytest.raises(ValueError):
+            equal_treatment_assessment(np.ones((3, 2)), np.ones((2, 2)))
+
+
+class TestEqualImpact:
+    def test_identical_users_satisfy_definition_3(self):
+        rng = np.random.default_rng(0)
+        outcomes = rng.binomial(1, 0.5, size=(400, 5)).astype(float)
+        assessment = equal_impact_assessment(outcomes, tolerance=0.1)
+        assert assessment.max_user_gap < 0.1
+        assert assessment.satisfied
+
+    def test_persistently_different_users_violate_definition_3(self):
+        outcomes = np.column_stack([np.ones(100), np.zeros(100)])
+        assessment = equal_impact_assessment(outcomes, tolerance=0.1)
+        assert assessment.max_user_gap == pytest.approx(1.0)
+        assert not assessment.satisfied
+
+    def test_group_conditioning_uses_group_limits(self):
+        outcomes = np.column_stack(
+            [np.ones(100), np.ones(100), np.zeros(100), np.zeros(100)]
+        )
+        groups = {Race.BLACK: np.array([0, 1]), Race.WHITE: np.array([2, 3])}
+        assessment = equal_impact_assessment(outcomes, groups=groups, tolerance=0.05)
+        assert assessment.max_group_gap == pytest.approx(1.0)
+        assert not assessment.satisfied
+        assert assessment.group_limits[Race.BLACK] == pytest.approx(1.0)
+
+    def test_group_with_no_members_reports_nan_limit(self):
+        outcomes = np.ones((50, 2))
+        groups = {Race.BLACK: np.array([0, 1]), Race.ASIAN: np.array([], dtype=int)}
+        assessment = equal_impact_assessment(outcomes, groups=groups)
+        assert np.isnan(assessment.group_limits[Race.ASIAN])
+        assert assessment.satisfied
+
+    def test_already_averaged_series_skips_the_cesaro_step(self):
+        running = np.tile(np.array([[0.2, 0.2]]), (50, 1))
+        assessment = equal_impact_assessment(running, already_averaged=True)
+        np.testing.assert_allclose(assessment.user_limits, [0.2, 0.2])
+
+    def test_converged_flag_tracks_tail_dispersion(self):
+        settled = np.tile(np.array([[0.3, 0.3]]), (100, 1))
+        assessment = equal_impact_assessment(settled, already_averaged=True, tolerance=0.01)
+        assert assessment.converged
+        oscillating = np.column_stack([np.tile([0.0, 1.0], 50), np.tile([0.0, 1.0], 50)])
+        wild = equal_impact_assessment(oscillating, already_averaged=True, tolerance=0.01)
+        assert not wild.converged
+
+    def test_transient_differences_are_forgiven(self):
+        # Both users converge to 0.5 but start very differently.
+        steps = 4000
+        user_a = np.concatenate([np.ones(100), np.tile([0.0, 1.0], 1950)])
+        user_b = np.concatenate([np.zeros(100), np.tile([1.0, 0.0], 1950)])
+        outcomes = np.column_stack([user_a[:steps], user_b[:steps]])
+        assessment = equal_impact_assessment(outcomes, tolerance=0.1)
+        assert assessment.satisfied
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            equal_impact_assessment(np.empty((0, 3)))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            equal_impact_assessment(np.ones(10))

@@ -1,0 +1,106 @@
+"""Tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    approval_rates_by_group,
+    default_rate_series,
+    demographic_parity_gap,
+    equal_opportunity_gap,
+    group_average_series,
+)
+from repro.data.census import Race
+
+
+@pytest.fixture
+def simple_groups():
+    return {Race.BLACK: np.array([0, 1]), Race.WHITE: np.array([2, 3])}
+
+
+class TestApprovalRates:
+    def test_rates_by_group(self, simple_groups):
+        decisions = np.array([[1, 1, 1, 1], [0, 0, 1, 1]], dtype=float)
+        rates = approval_rates_by_group(decisions, simple_groups)
+        assert rates[Race.BLACK] == pytest.approx(0.5)
+        assert rates[Race.WHITE] == pytest.approx(1.0)
+
+    def test_empty_group_reports_nan(self):
+        decisions = np.ones((2, 2))
+        rates = approval_rates_by_group(decisions, {Race.ASIAN: np.array([], dtype=int)})
+        assert np.isnan(rates[Race.ASIAN])
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            approval_rates_by_group(np.ones(4), {Race.BLACK: np.array([0])})
+
+
+class TestDemographicParityGap:
+    def test_equal_rates_give_zero_gap(self, simple_groups):
+        decisions = np.ones((3, 4))
+        assert demographic_parity_gap(decisions, simple_groups) == pytest.approx(0.0)
+
+    def test_unequal_rates_give_the_difference(self, simple_groups):
+        decisions = np.array([[1, 1, 0, 0]], dtype=float)
+        assert demographic_parity_gap(decisions, simple_groups) == pytest.approx(1.0)
+
+    def test_single_group_gives_zero(self):
+        decisions = np.ones((2, 2))
+        assert demographic_parity_gap(decisions, {Race.BLACK: np.array([0, 1])}) == 0.0
+
+
+class TestEqualOpportunityGap:
+    def test_equal_rates_among_qualified(self, simple_groups):
+        decisions = np.array([[1, 0, 1, 0]], dtype=float)
+        qualified = np.array([[1, 0, 1, 0]], dtype=float)
+        assert equal_opportunity_gap(decisions, qualified, simple_groups) == pytest.approx(0.0)
+
+    def test_gap_when_one_group_is_underserved(self, simple_groups):
+        decisions = np.array([[0, 0, 1, 1]], dtype=float)
+        qualified = np.ones((1, 4))
+        assert equal_opportunity_gap(decisions, qualified, simple_groups) == pytest.approx(1.0)
+
+    def test_groups_without_qualified_members_are_skipped(self, simple_groups):
+        decisions = np.array([[1, 1, 1, 1]], dtype=float)
+        qualified = np.array([[1, 1, 0, 0]], dtype=float)
+        assert equal_opportunity_gap(decisions, qualified, simple_groups) == 0.0
+
+    def test_shape_mismatch_is_rejected(self, simple_groups):
+        with pytest.raises(ValueError):
+            equal_opportunity_gap(np.ones((2, 4)), np.ones((1, 4)), simple_groups)
+
+
+class TestDefaultRateSeries:
+    def test_matches_hand_computation(self):
+        decisions = np.array([[1, 1], [1, 0], [1, 1]], dtype=float)
+        actions = np.array([[1, 0], [0, 0], [1, 1]], dtype=float)
+        rates = default_rate_series(decisions, actions)
+        assert rates[-1, 0] == pytest.approx(1.0 / 3.0)
+        assert rates[-1, 1] == pytest.approx(0.5)
+
+    def test_no_offers_yield_zero_rate(self):
+        rates = default_rate_series(np.zeros((3, 2)), np.zeros((3, 2)))
+        np.testing.assert_allclose(rates, 0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            default_rate_series(np.ones((2, 2)), np.ones((3, 2)))
+
+
+class TestGroupAverageSeries:
+    def test_per_step_group_means(self, simple_groups):
+        series = np.array([[0.0, 1.0, 2.0, 3.0], [4.0, 5.0, 6.0, 7.0]])
+        grouped = group_average_series(series, simple_groups)
+        np.testing.assert_allclose(grouped[Race.BLACK], [0.5, 4.5])
+        np.testing.assert_allclose(grouped[Race.WHITE], [2.5, 6.5])
+
+    def test_empty_group_is_nan(self):
+        series = np.ones((2, 2))
+        grouped = group_average_series(series, {Race.ASIAN: np.array([], dtype=int)})
+        assert np.all(np.isnan(grouped[Race.ASIAN]))
+
+    def test_rejects_1d_series(self):
+        with pytest.raises(ValueError):
+            group_average_series(np.ones(5), {Race.BLACK: np.array([0])})

@@ -1,0 +1,124 @@
+"""Tests for repro.core.population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import CreditPopulation, IFSPopulation, Population
+from repro.credit.mortgage import MortgageTerms
+from repro.data.census import Race
+from repro.data.synthetic import PopulationSpec, generate_population
+from repro.markov.ifs import SignalDependentIFS
+from repro.markov.maps import AffineMap, FunctionMap
+
+
+@pytest.fixture
+def credit_population(small_population, income_table):
+    return CreditPopulation(population=small_population, income_table=income_table)
+
+
+class TestCreditPopulation:
+    def test_satisfies_the_protocol(self, credit_population):
+        assert isinstance(credit_population, Population)
+
+    def test_begin_step_reveals_incomes(self, credit_population, rng):
+        features = credit_population.begin_step(0, rng)
+        assert "income" in features
+        assert features["income"].shape == (credit_population.num_users,)
+        assert np.all(features["income"] >= 0)
+
+    def test_affordability_requires_begin_step(self, small_population, income_table):
+        population = CreditPopulation(population=small_population, income_table=income_table)
+        with pytest.raises(RuntimeError):
+            population.current_affordability
+
+    def test_respond_requires_begin_step(self, small_population, income_table, rng):
+        population = CreditPopulation(population=small_population, income_table=income_table)
+        with pytest.raises(RuntimeError):
+            population.respond(np.ones(population.num_users), 0, rng)
+
+    def test_respond_returns_binary_actions(self, credit_population, rng):
+        credit_population.begin_step(0, rng)
+        actions = credit_population.respond(np.ones(credit_population.num_users), 0, rng)
+        assert set(np.unique(actions)).issubset({0.0, 1.0})
+
+    def test_denied_users_never_repay(self, credit_population, rng):
+        credit_population.begin_step(0, rng)
+        actions = credit_population.respond(np.zeros(credit_population.num_users), 0, rng)
+        assert actions.sum() == 0
+
+    def test_year_of_step_offsets_from_start_year(self, credit_population):
+        assert credit_population.year_of_step(0) == 2002
+        assert credit_population.year_of_step(18) == 2020
+
+    def test_groups_partition_the_population(self, credit_population):
+        groups = credit_population.groups
+        total = sum(indices.size for indices in groups.values())
+        assert total == credit_population.num_users
+
+    def test_races_property_matches_population(self, small_population, income_table):
+        population = CreditPopulation(population=small_population, income_table=income_table)
+        assert population.races.shape == (small_population.size,)
+
+    def test_custom_terms_are_used(self, small_population, income_table, rng):
+        generous = CreditPopulation(
+            population=small_population,
+            income_table=income_table,
+            terms=MortgageTerms(living_cost=0.0, annual_rate=0.0),
+        )
+        generous.begin_step(0, rng)
+        # With no obligations every user with positive income has a positive state.
+        assert np.all(generous.current_affordability > 0)
+
+
+def make_ifs_user() -> SignalDependentIFS:
+    return SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)),
+        transition_probabilities=lambda signal: [0.5, 0.5],
+        output_maps=(FunctionMap(lambda x: x, name="echo"),),
+        output_probabilities=lambda signal: [1.0],
+    )
+
+
+class TestIFSPopulation:
+    def test_satisfies_the_protocol(self):
+        population = IFSPopulation(
+            users=[make_ifs_user()], initial_states=[np.array([0.0])]
+        )
+        assert isinstance(population, Population)
+
+    def test_begin_step_reveals_nothing(self, rng):
+        population = IFSPopulation(users=[make_ifs_user()], initial_states=[np.array([0.0])])
+        assert population.begin_step(0, rng) == {}
+
+    def test_respond_advances_every_user(self, rng):
+        population = IFSPopulation(
+            users=[make_ifs_user(), make_ifs_user()],
+            initial_states=[np.array([0.0]), np.array([1.0])],
+        )
+        actions = population.respond(np.array([1.0, 1.0]), 0, rng)
+        assert actions.shape == (2,)
+        assert len(population.states) == 2
+
+    def test_scalar_signal_is_broadcast(self, rng):
+        population = IFSPopulation(
+            users=[make_ifs_user(), make_ifs_user()],
+            initial_states=[np.array([0.5]), np.array([0.5])],
+        )
+        actions = population.respond(1.0, 0, rng)
+        assert actions.shape == (2,)
+
+    def test_rejects_empty_user_list(self):
+        with pytest.raises(ValueError):
+            IFSPopulation(users=[], initial_states=[])
+
+    def test_rejects_mismatched_initial_states(self):
+        with pytest.raises(ValueError):
+            IFSPopulation(users=[make_ifs_user()], initial_states=[])
+
+    def test_states_are_copies(self, rng):
+        population = IFSPopulation(users=[make_ifs_user()], initial_states=[np.array([0.3])])
+        states = population.states
+        states[0][0] = 99.0
+        assert population.states[0][0] == pytest.approx(0.3)

@@ -1,0 +1,72 @@
+"""Tests for repro.credit.mortgage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.credit.mortgage import MortgageTerms
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        terms = MortgageTerms()
+        assert terms.income_multiple == pytest.approx(3.5)
+        assert terms.annual_rate == pytest.approx(0.0216)
+        assert terms.living_cost == pytest.approx(10.0)
+        assert terms.fixed_principal is None
+
+
+class TestProportionalPrincipal:
+    def test_principal_scales_with_income(self):
+        terms = MortgageTerms()
+        assert terms.principal(50.0) == pytest.approx(175.0)
+
+    def test_principal_accepts_arrays(self):
+        terms = MortgageTerms()
+        np.testing.assert_allclose(terms.principal(np.array([10.0, 20.0])), [35.0, 70.0])
+
+    def test_annual_interest(self):
+        terms = MortgageTerms()
+        assert terms.annual_interest(50.0) == pytest.approx(175.0 * 0.0216)
+
+    def test_annual_obligation_includes_living_cost(self):
+        terms = MortgageTerms()
+        assert terms.annual_obligation(50.0) == pytest.approx(10.0 + 175.0 * 0.0216)
+
+    def test_negative_income_is_rejected(self):
+        with pytest.raises(ValueError):
+            MortgageTerms().principal(-1.0)
+
+
+class TestFixedPrincipal:
+    def test_principal_ignores_income(self):
+        terms = MortgageTerms(fixed_principal=50.0)
+        assert terms.principal(10.0) == pytest.approx(50.0)
+        assert terms.principal(200.0) == pytest.approx(50.0)
+
+    def test_fixed_principal_array_form(self):
+        terms = MortgageTerms(fixed_principal=50.0)
+        np.testing.assert_allclose(terms.principal(np.array([10.0, 200.0])), [50.0, 50.0])
+
+    def test_fixed_obligation_is_constant(self):
+        terms = MortgageTerms(fixed_principal=50.0)
+        assert terms.annual_obligation(10.0) == pytest.approx(terms.annual_obligation(200.0))
+
+    def test_rejects_non_positive_fixed_principal(self):
+        with pytest.raises(ValueError):
+            MortgageTerms(fixed_principal=0.0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_income_multiple(self):
+        with pytest.raises(ValueError):
+            MortgageTerms(income_multiple=0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            MortgageTerms(annual_rate=-0.01)
+
+    def test_rejects_negative_living_cost(self):
+        with pytest.raises(ValueError):
+            MortgageTerms(living_cost=-5.0)

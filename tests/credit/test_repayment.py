@@ -1,0 +1,81 @@
+"""Tests for repro.credit.repayment (equation 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.credit.repayment import GaussianRepaymentModel
+
+
+class TestRepaymentProbability:
+    def test_matches_probit_formula(self):
+        model = GaussianRepaymentModel(sensitivity=5.0)
+        state = 0.3
+        assert model.repayment_probability(state)[0] == pytest.approx(norm.cdf(5.0 * state))
+
+    def test_non_positive_state_never_repays(self):
+        model = GaussianRepaymentModel()
+        np.testing.assert_allclose(model.repayment_probability([-0.5, 0.0]), [0.0, 0.0])
+
+    def test_probability_is_monotone_in_the_state(self):
+        model = GaussianRepaymentModel()
+        probabilities = model.repayment_probability(np.linspace(0.01, 0.9, 20))
+        assert np.all(np.diff(probabilities) > 0)
+
+    def test_higher_sensitivity_sharpens_the_response(self):
+        state = 0.2
+        soft = GaussianRepaymentModel(sensitivity=1.0).repayment_probability(state)[0]
+        sharp = GaussianRepaymentModel(sensitivity=10.0).repayment_probability(state)[0]
+        assert sharp > soft
+
+    def test_rejects_non_positive_sensitivity(self):
+        with pytest.raises(ValueError):
+            GaussianRepaymentModel(sensitivity=0.0)
+
+
+class TestSampleRepayments:
+    def test_no_mortgage_means_no_repayment(self):
+        model = GaussianRepaymentModel()
+        repayments = model.sample_repayments([0.9, 0.9], [0, 1], rng=0)
+        assert repayments[0] == 0
+
+    def test_wealthy_users_almost_always_repay(self):
+        model = GaussianRepaymentModel()
+        repayments = model.sample_repayments(np.full(2000, 0.8), np.ones(2000), rng=1)
+        assert repayments.mean() > 0.99
+
+    def test_underwater_users_never_repay(self):
+        model = GaussianRepaymentModel()
+        repayments = model.sample_repayments(np.full(100, -0.2), np.ones(100), rng=2)
+        assert repayments.sum() == 0
+
+    def test_empirical_rate_matches_probability(self):
+        model = GaussianRepaymentModel()
+        state = 0.1
+        expected = norm.cdf(5.0 * state)
+        repayments = model.sample_repayments(np.full(20000, state), np.ones(20000), rng=3)
+        assert repayments.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_reproducible_with_seed(self):
+        model = GaussianRepaymentModel()
+        a = model.sample_repayments(np.full(50, 0.1), np.ones(50), rng=9)
+        b = model.sample_repayments(np.full(50, 0.1), np.ones(50), rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_misaligned_inputs_are_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianRepaymentModel().sample_repayments([0.1, 0.2], [1])
+
+
+class TestExpectedDefaultRate:
+    def test_matches_one_minus_mean_probability(self):
+        model = GaussianRepaymentModel()
+        states = np.array([0.1, 0.3, -0.5])
+        expected = 1.0 - model.repayment_probability(states).mean()
+        assert model.expected_default_rate(states) == pytest.approx(expected)
+
+    def test_rejects_empty_portfolio(self):
+        with pytest.raises(ValueError):
+            GaussianRepaymentModel().expected_default_rate([])

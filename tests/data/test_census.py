@@ -1,0 +1,137 @@
+"""Tests for repro.data.census (the synthetic CPS Table A-2 substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.census import (
+    BRACKET_LABELS,
+    INCOME_BRACKETS,
+    BracketDistribution,
+    IncomeTable,
+    Race,
+    default_income_table,
+    paper_race_mix,
+)
+
+
+class TestBrackets:
+    def test_there_are_nine_brackets(self):
+        assert len(INCOME_BRACKETS) == 9
+        assert len(BRACKET_LABELS) == 9
+
+    def test_brackets_are_contiguous(self):
+        for (low, high), (next_low, _next_high) in zip(INCOME_BRACKETS, INCOME_BRACKETS[1:]):
+            assert high == next_low
+
+    def test_first_bracket_starts_at_zero_and_last_is_over_200(self):
+        assert INCOME_BRACKETS[0][0] == 0.0
+        assert INCOME_BRACKETS[-1][0] == 200.0
+
+
+class TestDefaultIncomeTable:
+    def test_covers_2002_to_2020(self, income_table):
+        assert income_table.years[0] == 2002
+        assert income_table.years[-1] == 2020
+
+    def test_covers_three_races(self, income_table):
+        assert set(income_table.races) == set(Race)
+
+    def test_shares_are_probability_vectors(self, income_table):
+        for year in income_table.years:
+            for race in Race:
+                shares = income_table.bracket_shares(year, race)
+                assert shares.shape == (9,)
+                assert shares.min() >= 0
+                assert shares.sum() == pytest.approx(1.0)
+
+    def test_race_mix_2002_matches_paper(self, income_table):
+        mix = income_table.race_mix(2002)
+        expected = paper_race_mix()
+        by_race = dict(zip(income_table.races, mix))
+        for race, probability in expected.items():
+            assert by_race[race] == pytest.approx(probability, abs=0.01)
+
+    def test_asian_upper_tail_is_heaviest_in_2020(self, income_table):
+        shares = {
+            race: income_table.distribution(2020, race).share_above(200.0) for race in Race
+        }
+        assert shares[Race.ASIAN] > shares[Race.WHITE] > shares[Race.BLACK]
+        assert shares[Race.ASIAN] == pytest.approx(0.20, abs=0.06)
+
+    def test_most_black_households_below_75k_in_2020(self, income_table):
+        shares = income_table.bracket_shares(2020, Race.BLACK)
+        assert shares[:5].sum() > 0.5
+
+    def test_incomes_grow_over_time(self, income_table):
+        for race in Race:
+            early = income_table.distribution(2002, race)
+            late = income_table.distribution(2020, race)
+            assert late.share_above(100.0) > early.share_above(100.0)
+
+    def test_years_outside_range_are_clamped(self, income_table):
+        clamped = income_table.distribution(2030, Race.WHITE)
+        explicit = income_table.distribution(2020, Race.WHITE)
+        np.testing.assert_array_equal(clamped.as_array(), explicit.as_array())
+
+    def test_household_counts_are_positive(self, income_table):
+        for race in Race:
+            assert income_table.households(2010, race) > 0
+
+    def test_custom_year_range(self):
+        table = default_income_table(2005, 2007)
+        assert table.years == (2005, 2006, 2007)
+
+    def test_rejects_inverted_year_range(self):
+        with pytest.raises(ValueError):
+            default_income_table(2010, 2005)
+
+    def test_is_deterministic(self):
+        first = default_income_table().bracket_shares(2010, Race.BLACK)
+        second = default_income_table().bracket_shares(2010, Race.BLACK)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestBracketDistribution:
+    def test_median_bracket_is_consistent(self, income_table):
+        distribution = income_table.distribution(2020, Race.WHITE)
+        median_index = distribution.median_bracket()
+        cumulative = np.cumsum(distribution.as_array())
+        assert cumulative[median_index] >= 0.5
+        if median_index > 0:
+            assert cumulative[median_index - 1] < 0.5
+
+    def test_share_above_zero_is_one(self, income_table):
+        distribution = income_table.distribution(2010, Race.ASIAN)
+        assert distribution.share_above(0.0) == pytest.approx(1.0)
+
+    def test_share_above_is_monotone(self, income_table):
+        distribution = income_table.distribution(2010, Race.WHITE)
+        assert distribution.share_above(15.0) >= distribution.share_above(75.0)
+
+
+class TestIncomeTableValidation:
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            IncomeTable({})
+
+    def test_rejects_missing_race_year_pair(self):
+        base = default_income_table(2010, 2011)
+        distributions = {
+            (year, race): base.distribution(year, race)
+            for year in (2010, 2011)
+            for race in Race
+        }
+        del distributions[(2011, Race.ASIAN)]
+        with pytest.raises(ValueError, match="missing"):
+            IncomeTable(distributions)
+
+
+class TestPaperRaceMix:
+    def test_sums_to_one(self):
+        assert sum(paper_race_mix().values()) == pytest.approx(1.0)
+
+    def test_white_is_majority(self):
+        mix = paper_race_mix()
+        assert mix[Race.WHITE] > mix[Race.BLACK] > mix[Race.ASIAN]

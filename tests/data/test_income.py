@@ -1,0 +1,80 @@
+"""Tests for repro.data.income (income sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.census import INCOME_BRACKETS, Race, default_income_table
+from repro.data.income import IncomeSampler
+from repro.data.synthetic import PopulationSpec, generate_population
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    return IncomeSampler(default_income_table())
+
+
+class TestSample:
+    def test_sampled_incomes_lie_within_bracket_range(self, sampler):
+        incomes = sampler.sample(2010, Race.WHITE, 500, rng=1)
+        assert incomes.min() >= INCOME_BRACKETS[0][0]
+        assert incomes.max() <= INCOME_BRACKETS[-1][1]
+
+    def test_sample_size_zero_is_empty(self, sampler):
+        assert sampler.sample(2010, Race.BLACK, 0, rng=1).size == 0
+
+    def test_negative_size_is_rejected(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample(2010, Race.BLACK, -1)
+
+    def test_sampling_is_reproducible_with_seed(self, sampler):
+        a = sampler.sample(2015, Race.ASIAN, 100, rng=7)
+        b = sampler.sample(2015, Race.ASIAN, 100, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_asian_mean_income_exceeds_black_mean_income(self, sampler):
+        asian = sampler.sample(2020, Race.ASIAN, 4000, rng=3)
+        black = sampler.sample(2020, Race.BLACK, 4000, rng=3)
+        assert asian.mean() > black.mean()
+
+    def test_empirical_bracket_shares_match_table(self, sampler):
+        incomes = sampler.sample(2010, Race.WHITE, 20000, rng=11)
+        shares = sampler.table.bracket_shares(2010, Race.WHITE)
+        first_bracket_share = float(np.mean(incomes < 15.0))
+        assert first_bracket_share == pytest.approx(shares[0], abs=0.02)
+
+
+class TestSamplePopulation:
+    def test_one_income_per_user(self, sampler, rng):
+        population = generate_population(PopulationSpec(size=50), rng)
+        incomes = sampler.sample_population(2010, population.races, rng)
+        assert incomes.shape == (50,)
+        assert np.all(incomes >= 0)
+
+    def test_reproducible_with_seed(self, sampler):
+        population = generate_population(PopulationSpec(size=30), 5)
+        a = sampler.sample_population(2012, population.races, 9)
+        b = sampler.sample_population(2012, population.races, 9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExpectedIncome:
+    def test_expected_income_orders_races_correctly(self, sampler):
+        assert sampler.expected_income(2020, Race.ASIAN) > sampler.expected_income(
+            2020, Race.BLACK
+        )
+
+    def test_expected_income_grows_over_years(self, sampler):
+        assert sampler.expected_income(2020, Race.WHITE) > sampler.expected_income(
+            2002, Race.WHITE
+        )
+
+    @given(st.sampled_from(list(Race)), st.integers(min_value=2002, max_value=2020))
+    @settings(max_examples=20, deadline=None)
+    def test_expected_income_is_within_bracket_bounds(self, race, year):
+        sampler = IncomeSampler(default_income_table())
+        expected = sampler.expected_income(year, race)
+        assert INCOME_BRACKETS[0][0] <= expected <= INCOME_BRACKETS[-1][1]

@@ -1,0 +1,89 @@
+"""Tests for repro.data.scenarios (concept-drift income tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.census import Race, default_income_table
+from repro.data.income import IncomeSampler
+from repro.data.scenarios import recession_scenario, shift_distribution, widening_gap_scenario
+
+
+class TestShiftDistribution:
+    def test_zero_downshift_is_identity(self, income_table):
+        original = income_table.distribution(2010, Race.WHITE)
+        shifted = shift_distribution(original, 0.0)
+        np.testing.assert_allclose(shifted.as_array(), original.as_array())
+
+    def test_shifted_shares_remain_a_probability_vector(self, income_table):
+        shifted = shift_distribution(income_table.distribution(2010, Race.WHITE), 0.4)
+        assert shifted.as_array().sum() == pytest.approx(1.0)
+        assert shifted.as_array().min() >= 0.0
+
+    def test_shift_lowers_the_upper_tail(self, income_table):
+        original = income_table.distribution(2010, Race.ASIAN)
+        shifted = shift_distribution(original, 0.3)
+        assert shifted.share_above(100.0) < original.share_above(100.0)
+
+    def test_rejects_invalid_downshift(self, income_table):
+        with pytest.raises(ValueError):
+            shift_distribution(income_table.distribution(2010, Race.WHITE), 1.5)
+
+
+class TestRecessionScenario:
+    def test_only_shock_years_are_affected(self, income_table):
+        table = recession_scenario(shock_years=(2008, 2009), downshift=0.35, base=income_table)
+        unaffected = table.bracket_shares(2005, Race.WHITE)
+        np.testing.assert_allclose(unaffected, income_table.bracket_shares(2005, Race.WHITE))
+        affected = table.bracket_shares(2008, Race.WHITE)
+        assert not np.allclose(affected, income_table.bracket_shares(2008, Race.WHITE))
+
+    def test_shock_lowers_expected_income_in_the_shock_year(self, income_table):
+        table = recession_scenario(base=income_table)
+        baseline_sampler = IncomeSampler(income_table)
+        shocked_sampler = IncomeSampler(table)
+        assert shocked_sampler.expected_income(2008, Race.WHITE) < baseline_sampler.expected_income(
+            2008, Race.WHITE
+        )
+
+    def test_every_race_is_hit(self, income_table):
+        table = recession_scenario(base=income_table)
+        for race in Race:
+            assert IncomeSampler(table).expected_income(2009, race) < IncomeSampler(
+                income_table
+            ).expected_income(2009, race)
+
+
+class TestWideningGapScenario:
+    def test_only_the_disadvantaged_group_is_affected(self, income_table):
+        table = widening_gap_scenario(disadvantaged=Race.BLACK, base=income_table)
+        np.testing.assert_allclose(
+            table.bracket_shares(2015, Race.WHITE),
+            income_table.bracket_shares(2015, Race.WHITE),
+        )
+        assert not np.allclose(
+            table.bracket_shares(2015, Race.BLACK),
+            income_table.bracket_shares(2015, Race.BLACK),
+        )
+
+    def test_years_before_the_start_are_untouched(self, income_table):
+        table = widening_gap_scenario(start_year=2010, base=income_table)
+        np.testing.assert_allclose(
+            table.bracket_shares(2005, Race.BLACK),
+            income_table.bracket_shares(2005, Race.BLACK),
+        )
+
+    def test_the_gap_keeps_widening_over_time(self, income_table):
+        table = widening_gap_scenario(
+            disadvantaged=Race.BLACK, annual_downshift=0.05, start_year=2010, base=income_table
+        )
+        sampler = IncomeSampler(table)
+        baseline = IncomeSampler(income_table)
+        gap_2012 = baseline.expected_income(2012, Race.BLACK) - sampler.expected_income(
+            2012, Race.BLACK
+        )
+        gap_2020 = baseline.expected_income(2020, Race.BLACK) - sampler.expected_income(
+            2020, Race.BLACK
+        )
+        assert gap_2020 > gap_2012 > 0

@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.ablations (E-A1 and E-A2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.census import Race
+from repro.experiments.ablations import baseline_comparison, ergodicity_ablation
+from repro.experiments.config import CaseStudyConfig
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return baseline_comparison(CaseStudyConfig(num_users=150, num_trials=2, seed=5))
+
+
+class TestBaselineComparison:
+    def test_all_four_policies_are_compared(self, comparison):
+        assert len(comparison.outcomes) == 4
+        assert any("uniform" in name for name in comparison.outcomes)
+        assert any("retraining" in name for name in comparison.outcomes)
+
+    def test_final_gaps_are_non_negative(self, comparison):
+        for outcome in comparison.outcomes.values():
+            assert outcome.final_gap >= 0.0
+            assert outcome.approval_gap >= 0.0
+
+    def test_uniform_limit_does_not_equalise_impact(self, comparison):
+        """The introduction's claim: the equal-treatment $50K limit leaves a
+        larger long-run default-rate gap than the income-proportional loop."""
+        uniform = comparison.outcomes["uniform $50K limit (equal treatment)"]
+        paper = comparison.outcomes["retraining scorecard (paper)"]
+        assert uniform.final_gap > paper.final_gap
+
+    def test_equal_impact_ranking_prefers_the_paper_policy_over_uniform(self, comparison):
+        ranking = comparison.equal_impact_ranking()
+        assert ranking.index("retraining scorecard (paper)") < ranking.index(
+            "uniform $50K limit (equal treatment)"
+        )
+
+    def test_every_outcome_reports_all_races(self, comparison):
+        for outcome in comparison.outcomes.values():
+            assert set(outcome.final_group_rates) == set(Race)
+            assert set(outcome.approval_rates) == set(Race)
+
+    def test_summary_is_a_table_over_policies(self, comparison):
+        text = comparison.summary()
+        for name in comparison.outcomes:
+            assert name in text
+
+
+class TestErgodicityAblation:
+    def test_contractive_ifs_is_uniquely_ergodic(self):
+        result = ergodicity_ablation(orbit_length=1500, seed=3)
+        assert result.contractive_is_ergodic
+        assert result.contractive_max_distance < result.tolerance
+
+    def test_integral_action_breaks_ergodicity(self):
+        result = ergodicity_ablation(orbit_length=1500, seed=3)
+        assert result.integral_breaks_ergodicity
+        assert result.integral_divergence > result.contractive_max_distance
+
+    def test_summary_mentions_both_cases(self):
+        result = ergodicity_ablation(orbit_length=800, seed=1)
+        text = result.summary()
+        assert "contractive" in text
+        assert "integral" in text

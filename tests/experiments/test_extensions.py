@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.extensions (steering E-X1 and drift E-X2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.extensions import drift_comparison, steering_comparison
+
+
+@pytest.fixture(scope="module")
+def steering_result():
+    return steering_comparison(CaseStudyConfig(num_users=120, num_trials=1, seed=41))
+
+
+@pytest.fixture(scope="module")
+def drift_result():
+    return drift_comparison(CaseStudyConfig(num_users=120, num_trials=1, seed=43))
+
+
+class TestSteeringComparison:
+    def test_all_three_arms_are_reported(self, steering_result):
+        assert set(steering_result.outcomes) == {
+            "plain retraining scorecard",
+            "impact steering (proportional boost)",
+            "epsilon-greedy exploration",
+        }
+
+    def test_outcome_metrics_are_well_formed(self, steering_result):
+        for outcome in steering_result.outcomes.values():
+            assert 0.0 <= outcome.final_group_gap <= 1.0
+            assert 0.0 <= outcome.final_user_gini <= 1.0
+            assert 0.0 <= outcome.mean_approval_rate <= 1.0
+
+    def test_interventions_do_not_meaningfully_reduce_access_to_credit(self, steering_result):
+        plain = steering_result.outcomes["plain retraining scorecard"]
+        steered = steering_result.outcomes["impact steering (proportional boost)"]
+        explored = steering_result.outcomes["epsilon-greedy exploration"]
+        # The loop's feedback means decisions are not pointwise comparable, so
+        # the check is on the aggregate approval rate with a small slack.
+        assert steered.mean_approval_rate >= plain.mean_approval_rate - 0.02
+        assert explored.mean_approval_rate >= plain.mean_approval_rate - 0.02
+
+    def test_summary_lists_every_arm(self, steering_result):
+        text = steering_result.summary()
+        for name in steering_result.outcomes:
+            assert name in text
+
+
+class TestDriftComparison:
+    def test_both_arms_are_reported(self, drift_result):
+        assert set(drift_result.outcomes) == {
+            "retraining scorecard",
+            "static scorecard (never retrained)",
+        }
+
+    def test_metrics_are_probabilities(self, drift_result):
+        for outcome in drift_result.outcomes.values():
+            assert 0.0 <= outcome.post_shock_default_rate <= 1.0
+            assert 0.0 <= outcome.post_shock_approval_rate <= 1.0
+            assert 0.0 <= outcome.final_group_gap <= 1.0
+
+    def test_summary_mentions_the_shock_years(self, drift_result):
+        text = drift_result.summary()
+        assert "2008" in text and "2009" in text

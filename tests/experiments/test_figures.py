@@ -1,0 +1,151 @@
+"""Tests for the figure/table reproduction modules (E-T1, E-F2..E-F5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.census import Race
+from repro.experiments.fig2_income import fig2_income_distribution
+from repro.experiments.fig3_race_adr import fig3_race_adr
+from repro.experiments.fig4_user_adr import fig4_user_adr
+from repro.experiments.fig5_density import fig5_density
+from repro.experiments.runner import run_experiment
+from repro.experiments.table1_scorecard import table1_scorecard_result
+
+
+@pytest.fixture(scope="module")
+def shared_experiment():
+    """One small experiment shared by all figure tests in this module."""
+    from repro.experiments.config import CaseStudyConfig
+
+    return run_experiment(CaseStudyConfig(num_users=120, num_trials=2, seed=11))
+
+
+class TestTable1:
+    def test_worked_example_score_matches_the_paper(self):
+        result = table1_scorecard_result(train=False)
+        assert result.worked_example_score == pytest.approx(4.953, abs=1e-9)
+        assert result.trained_scorecard is None
+
+    def test_trained_scorecard_has_the_papers_sign_pattern(self, tiny_config):
+        result = table1_scorecard_result(tiny_config.scaled(num_users=300))
+        assert result.trained_scorecard is not None
+        assert result.trained_history_points < 0
+        assert result.trained_income_points > 0
+
+    def test_summary_mentions_both_cards(self, tiny_config):
+        result = table1_scorecard_result(tiny_config.scaled(num_users=200))
+        text = result.summary()
+        assert "Table I" in text
+        assert "trained" in text
+
+
+class TestFig2:
+    def test_shares_are_probability_vectors(self):
+        result = fig2_income_distribution()
+        for race in Race:
+            assert result.shares[race].sum() == pytest.approx(1.0)
+
+    def test_asian_top_bracket_share_is_about_20_percent(self):
+        result = fig2_income_distribution()
+        assert result.share_over_200k[Race.ASIAN] == pytest.approx(0.20, abs=0.06)
+
+    def test_black_households_mostly_below_75k(self):
+        result = fig2_income_distribution()
+        assert result.share_under_75k[Race.BLACK] > 0.5
+
+    def test_race_ordering_of_the_upper_tail(self):
+        result = fig2_income_distribution()
+        assert (
+            result.share_over_200k[Race.ASIAN]
+            > result.share_over_200k[Race.WHITE]
+            > result.share_over_200k[Race.BLACK]
+        )
+
+    def test_summary_contains_every_bracket_label(self):
+        result = fig2_income_distribution()
+        text = result.summary()
+        for label in result.bracket_labels:
+            assert label in text
+
+
+class TestFig3:
+    def test_series_cover_every_year_and_race(self, shared_experiment):
+        result = fig3_race_adr(result=shared_experiment)
+        assert result.years == shared_experiment.years
+        for race in Race:
+            assert result.mean_series[race].shape == (len(result.years),)
+            assert result.std_series[race].shape == (len(result.years),)
+
+    def test_black_households_start_with_the_highest_adr(self, shared_experiment):
+        result = fig3_race_adr(result=shared_experiment)
+        warm_up = shared_experiment.config.warm_up_rounds
+        assert (
+            result.mean_series[Race.BLACK][warm_up]
+            > result.mean_series[Race.ASIAN][warm_up]
+        )
+
+    def test_race_wise_adrs_dwindle_towards_a_common_level(self, shared_experiment):
+        result = fig3_race_adr(result=shared_experiment)
+        assert result.final_gap <= result.initial_gap
+        assert result.gap_shrinks
+
+    def test_adr_levels_are_small_by_the_end(self, shared_experiment):
+        result = fig3_race_adr(result=shared_experiment)
+        for race in Race:
+            assert result.mean_series[race][-1] < 0.15
+
+    def test_summary_is_a_table_over_years(self, shared_experiment):
+        result = fig3_race_adr(result=shared_experiment)
+        text = result.summary()
+        assert "2002" in text and "2020" in text
+        assert "cross-race ADR gap" in text
+
+
+class TestFig4:
+    def test_stacks_every_user_series(self, shared_experiment):
+        result = fig4_user_adr(result=shared_experiment)
+        expected = (
+            shared_experiment.config.num_trials * shared_experiment.config.num_users
+        )
+        assert result.num_series == expected
+        assert result.user_series.shape == (expected, len(result.years))
+        assert result.user_races.shape == (expected,)
+
+    def test_dispersion_shrinks_from_start_to_end(self, shared_experiment):
+        result = fig4_user_adr(result=shared_experiment)
+        warm_up = shared_experiment.config.warm_up_rounds
+        assert result.dispersion_series[-1] <= result.dispersion_series[warm_up]
+
+    def test_summary_reports_the_spread(self, shared_experiment):
+        text = fig4_user_adr(result=shared_experiment).summary()
+        assert "cross-user spread" in text
+
+
+class TestFig5:
+    def test_density_rows_sum_to_one(self, shared_experiment):
+        result = fig5_density(result=shared_experiment)
+        np.testing.assert_allclose(result.density.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_mass_concentrates_at_low_adr_over_time(self, shared_experiment):
+        result = fig5_density(result=shared_experiment)
+        centers = (result.bin_edges[:-1] + result.bin_edges[1:]) / 2.0
+        high_bins = centers > 0.5
+        warm_up = shared_experiment.config.warm_up_rounds
+        # The high-ADR tail thins out over the simulation and most users end
+        # up below an ADR of 0.10 — the "dwindling" of the paper's Figure 5.
+        assert result.density[-1, high_bins].sum() <= result.density[warm_up, high_bins].sum()
+        assert result.mass_below_010[-1] > 0.6
+
+    def test_modal_bin_is_low_by_the_end(self, shared_experiment):
+        result = fig5_density(result=shared_experiment)
+        assert result.modal_bin_centers[-1] < 0.2
+
+    def test_rejects_too_few_bins(self, shared_experiment):
+        with pytest.raises(ValueError):
+            fig5_density(result=shared_experiment, num_bins=1)
+
+    def test_summary_lists_every_year(self, shared_experiment):
+        text = fig5_density(result=shared_experiment).summary()
+        assert "2002" in text and "2020" in text

@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import (
+    format_distribution_table,
+    format_series_table,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_are_rendered(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["b", 2.5]])
+        assert "name" in text
+        assert "a" in text
+        assert "2.5000" in text
+
+    def test_columns_are_aligned(self):
+        text = format_table(["x", "longer_header"], [["val", 1.0]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].index("longer_header") == lines[2].index("1.0000")
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.2f}")
+        assert "3.14" in text
+        assert "3.1416" not in text
+
+    def test_non_numeric_cells_are_stringified(self):
+        text = format_table(["a"], [[None]])
+        assert "None" in text
+
+
+class TestFormatSeriesTable:
+    def test_one_row_per_index_entry(self):
+        text = format_series_table([2002, 2003], {"adr": np.array([0.1, 0.2])}, index_name="year")
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert "year" in lines[0]
+        assert "2003" in lines[3]
+
+    def test_multiple_series_share_the_index(self):
+        text = format_series_table(
+            [0, 1], {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        assert "a" in text and "b" in text
+        assert "4.0000" in text
+
+
+class TestFormatDistributionTable:
+    def test_percentages_by_default(self):
+        text = format_distribution_table(["low", "high"], {"group": [0.25, 0.75]})
+        assert "25.00" in text
+        assert "75.00" in text
+        assert "values in %" in text
+
+    def test_raw_values_when_requested(self):
+        text = format_distribution_table(
+            ["low", "high"], {"group": [0.25, 0.75]}, as_percentage=False
+        )
+        assert "0.25" in text
+        assert "values in %" not in text

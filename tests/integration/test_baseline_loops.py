@@ -1,0 +1,88 @@
+"""Integration tests: every baseline policy runs inside the closed loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GroupThresholdPolicy,
+    IncomeMultiplePolicy,
+    StaticCreditScoringSystem,
+    UniformLimitPolicy,
+)
+from repro.core.ai_system import CreditScoringSystem
+from repro.credit.lender import Lender
+from repro.credit.mortgage import MortgageTerms
+from repro.data.census import Race
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import run_trial
+
+
+CONFIG = CaseStudyConfig(num_users=120, num_trials=1, seed=31)
+
+
+class TestBaselinesInsideTheLoop:
+    def test_uniform_limit_policy_locks_out_past_defaulters(self):
+        trial = run_trial(
+            CONFIG,
+            trial_index=0,
+            policy_factory=lambda cfg, pop: UniformLimitPolicy(),
+            terms=MortgageTerms(fixed_principal=50.0),
+        )
+        decisions = trial.history.decisions_matrix()
+        rates = trial.user_default_rates
+        # Any user who has ever defaulted must be denied at the next step.
+        for step in range(1, decisions.shape[0]):
+            defaulted_before = rates[step - 1] > 0
+            assert np.all(decisions[step][defaulted_before] == 0)
+
+    def test_income_multiple_policy_keeps_everyone_in_the_market(self):
+        trial = run_trial(
+            CONFIG,
+            trial_index=0,
+            policy_factory=lambda cfg, pop: IncomeMultiplePolicy(),
+        )
+        assert trial.history.decisions_matrix().min() == 1.0
+
+    def test_static_scorecard_runs_to_completion(self):
+        trial = run_trial(
+            CONFIG,
+            trial_index=0,
+            policy_factory=lambda cfg, pop: StaticCreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+        )
+        assert trial.user_default_rates.shape == (CONFIG.num_steps, CONFIG.num_users)
+
+    def test_group_threshold_policy_equalises_approval_rates(self):
+        def factory(cfg, population):
+            return GroupThresholdPolicy(
+                groups=population.groups,
+                target_approval_rate=0.8,
+                lender=Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds),
+            )
+
+        trial = run_trial(CONFIG, trial_index=0, policy_factory=factory)
+        decisions = trial.history.decisions_matrix()
+        groups = {race: np.flatnonzero(trial.races == race) for race in Race}
+        final_rates = [
+            decisions[-1][indices].mean() for indices in groups.values() if indices.size >= 5
+        ]
+        assert max(final_rates) - min(final_rates) < 0.15
+
+    def test_uniform_limit_produces_a_larger_final_gap_than_the_paper_policy(self):
+        paper = run_trial(
+            CONFIG,
+            trial_index=0,
+            policy_factory=lambda cfg, pop: CreditScoringSystem(
+                Lender(cutoff=cfg.cutoff, warm_up_rounds=cfg.warm_up_rounds)
+            ),
+        )
+        uniform = run_trial(
+            CONFIG,
+            trial_index=0,
+            policy_factory=lambda cfg, pop: UniformLimitPolicy(),
+            terms=MortgageTerms(fixed_principal=50.0),
+        )
+        assert uniform.final_group_gap > paper.final_group_gap

@@ -1,0 +1,79 @@
+"""Integration tests: convergence and spectral diagnostics on real loop output."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import estimate_long_run_average, impact_gap_significance
+from repro.data.census import Race
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import run_trial
+from repro.markov.operators import transition_matrix
+from repro.markov.spectral import mixing_time_upper_bound, spectral_diagnostics
+from repro.markov.system import MarkovEdge, MarkovSystem
+from repro.markov.maps import FunctionMap
+
+
+@pytest.fixture(scope="module")
+def trial():
+    return run_trial(CaseStudyConfig(num_users=200, num_trials=1, seed=77), trial_index=0)
+
+
+class TestConvergenceOnLoopOutput:
+    def test_portfolio_default_rate_estimate_is_a_probability(self, trial):
+        per_step_rate = 1.0 - trial.history.actions_matrix().mean(axis=1)
+        estimate = estimate_long_run_average(per_step_rate, num_batches=4, burn_in=0.1)
+        low, high = estimate.interval
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_race_gap_significance_runs_on_repayment_actions(self, trial):
+        groups = {race: np.flatnonzero(trial.races == race) for race in Race}
+        significance = impact_gap_significance(
+            trial.history.actions_matrix(), groups, num_batches=4
+        )
+        assert significance.gap >= 0.0
+        assert len(significance.group_estimates) == 3
+
+    def test_estimates_cover_the_observed_tail_average(self, trial):
+        per_step_rate = trial.history.actions_matrix().mean(axis=1)
+        estimate = estimate_long_run_average(per_step_rate, num_batches=4, burn_in=0.2)
+        tail_average = float(per_step_rate[-5:].mean())
+        low, high = estimate.interval
+        assert low - 0.05 <= tail_average <= high + 0.05
+
+
+class TestSpectralDiagnosticsOfTheCreditChain:
+    def _chain(self, relapse: float, rehabilitation: float) -> np.ndarray:
+        stay_good = FunctionMap(lambda x: np.array([0.0]))
+        lock = FunctionMap(lambda x: np.array([1.0]))
+        back = FunctionMap(lambda x: np.array([0.0]))
+        stay_locked = FunctionMap(lambda x: np.array([1.0]))
+        system = MarkovSystem(
+            num_vertices=2,
+            edges=[
+                MarkovEdge(0, 0, stay_good, 1.0 - relapse),
+                MarkovEdge(0, 1, lock, relapse),
+                MarkovEdge(1, 0, back, rehabilitation),
+                MarkovEdge(1, 1, stay_locked, 1.0 - rehabilitation),
+            ],
+            vertex_of_state=lambda state: int(round(float(state[0]))),
+        )
+        return transition_matrix([np.array([0.0]), np.array([1.0])], system)
+
+    def test_faster_rehabilitation_means_faster_equalisation(self):
+        slow = self._chain(relapse=0.1, rehabilitation=0.05)
+        fast = self._chain(relapse=0.1, rehabilitation=0.6)
+        assert (
+            spectral_diagnostics(fast).spectral_gap
+            > spectral_diagnostics(slow).spectral_gap
+        )
+        assert mixing_time_upper_bound(fast) < mixing_time_upper_bound(slow)
+
+    def test_no_rehabilitation_drains_everyone_into_lock_out(self):
+        absorbing = self._chain(relapse=0.1, rehabilitation=0.0)
+        # With an absorbing lock-out state the only stationary distribution
+        # puts all mass on "locked out": the loop's long-run impact is that
+        # every user eventually loses access to credit.
+        stationary = spectral_diagnostics(absorbing).stationary
+        np.testing.assert_allclose(stationary, [0.0, 1.0], atol=1e-6)

@@ -1,0 +1,128 @@
+"""Integration tests: the abstract Markov/IFS machinery applied to credit users.
+
+The paper's Section VI models each user as a signal-dependent IFS and ties
+equal impact to the ergodicity of the induced Markov system.  These tests
+build that abstract user model for a credit borrower, compare it with the
+concrete Gaussian repayment model, and run the ergodicity checklist on the
+induced two-state (offered / locked-out) Markov system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.loop import ClosedLoop
+from repro.core.ai_system import ConstantDecisionSystem
+from repro.core.filters import CumulativeAverageFilter
+from repro.core.population import IFSPopulation
+from repro.credit.repayment import GaussianRepaymentModel
+from repro.markov.ergodicity import check_ergodicity
+from repro.markov.ifs import SignalDependentIFS
+from repro.markov.maps import AffineMap, FunctionMap
+from repro.markov.system import MarkovEdge, MarkovSystem
+from repro.utils.stats import cesaro_averages
+
+
+def credit_user_ifs(repay_probability: float) -> SignalDependentIFS:
+    """The Section-VI-style user: repay w.p. p when offered, never otherwise."""
+    return SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(1.0, 0.0),),
+        transition_probabilities=lambda signal: [1.0],
+        output_maps=(
+            FunctionMap(lambda x: np.array([1.0]), name="repay"),
+            FunctionMap(lambda x: np.array([0.0]), name="default"),
+        ),
+        output_probabilities=lambda signal: (
+            [repay_probability, 1.0 - repay_probability] if signal >= 0.5 else [0.0, 1.0]
+        ),
+    )
+
+
+class TestIFSUserMatchesTheRepaymentModel:
+    def test_long_run_action_average_matches_the_probit_probability(self):
+        model = GaussianRepaymentModel()
+        affordability = 0.15
+        probability = float(model.repayment_probability(affordability)[0])
+        user = credit_user_ifs(probability)
+        population = IFSPopulation(users=[user], initial_states=[np.array([0.0])])
+        loop = ClosedLoop(
+            ai_system=ConstantDecisionSystem(decision=1),
+            population=population,
+            loop_filter=CumulativeAverageFilter(num_users=1),
+        )
+        history = loop.run(3000, rng=0)
+        long_run_average = history.running_action_averages()[-1, 0]
+        assert long_run_average == pytest.approx(probability, abs=0.03)
+
+    def test_equal_impact_holds_for_identical_ifs_users(self):
+        probability = 0.7
+        population = IFSPopulation(
+            users=[credit_user_ifs(probability) for _ in range(5)],
+            initial_states=[np.array([float(i)]) for i in range(5)],
+        )
+        loop = ClosedLoop(
+            ai_system=ConstantDecisionSystem(decision=1),
+            population=population,
+            loop_filter=CumulativeAverageFilter(num_users=5),
+        )
+        history = loop.run(2500, rng=1)
+        limits = history.running_action_averages()[-1]
+        # All users converge to the same limit despite different initial states.
+        assert limits.max() - limits.min() < 0.06
+        assert limits.mean() == pytest.approx(probability, abs=0.05)
+
+
+class TestCreditMarkovSystemErgodicity:
+    def _credit_markov_system(self, relapse_probability: float) -> MarkovSystem:
+        """Two partition cells: 0 = in good standing, 1 = locked out.
+
+        A user in good standing defaults (and is locked out) with the given
+        probability; a locked-out user regains standing with probability 0.5
+        (e.g. after rehabilitation), keeping the graph strongly connected.
+        """
+        to_locked = FunctionMap(lambda x: np.array([1.0]), name="lock")
+        to_good = FunctionMap(lambda x: np.array([0.0]), name="rehabilitate")
+        stay_good = FunctionMap(lambda x: np.array([0.0]), name="stay good")
+        stay_locked = FunctionMap(lambda x: np.array([1.0]), name="stay locked")
+        return MarkovSystem(
+            num_vertices=2,
+            edges=[
+                MarkovEdge(0, 0, stay_good, 1.0 - relapse_probability),
+                MarkovEdge(0, 1, to_locked, relapse_probability),
+                MarkovEdge(1, 0, to_good, 0.5),
+                MarkovEdge(1, 1, stay_locked, 0.5),
+            ],
+            vertex_of_state=lambda state: int(round(float(state[0]))),
+        )
+
+    def test_rehabilitating_credit_system_is_uniquely_ergodic(self):
+        system = self._credit_markov_system(relapse_probability=0.1)
+        report = check_ergodicity(system, estimate_contraction=False)
+        assert report.strongly_connected
+        assert report.primitive
+        assert report.uniquely_ergodic
+
+    def test_permanent_lockout_breaks_strong_connectivity(self):
+        """If a defaulted user can never regain standing, the invariant
+        measure guarantee of Section VI no longer applies."""
+        absorbing = MarkovSystem(
+            num_vertices=2,
+            edges=[
+                MarkovEdge(0, 0, FunctionMap(lambda x: np.array([0.0])), 0.9),
+                MarkovEdge(0, 1, FunctionMap(lambda x: np.array([1.0])), 0.1),
+                MarkovEdge(1, 1, FunctionMap(lambda x: np.array([1.0])), 1.0),
+            ],
+            vertex_of_state=lambda state: int(round(float(state[0]))),
+        )
+        report = check_ergodicity(absorbing, estimate_contraction=False)
+        assert not report.strongly_connected
+        assert not report.uniquely_ergodic
+
+    def test_time_average_of_the_ergodic_chain_converges_to_the_stationary_share(self):
+        system = self._credit_markov_system(relapse_probability=0.2)
+        orbit = system.orbit(np.array([0.0]), 4000, rng=5)
+        # Stationary distribution of the 2-state chain: locked share = p/(p+0.5).
+        expected_locked_share = 0.2 / 0.7
+        running = cesaro_averages(orbit[:, 0])
+        assert running[-1] == pytest.approx(expected_locked_share, abs=0.03)

@@ -1,0 +1,69 @@
+"""Tests for repro.markov.coupling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.coupling import coupling_distance_profile, coupling_time
+
+
+def contractive_step(state: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+    """x -> x/2 + Bernoulli(1/2)/2 — the classical contractive random map."""
+    return 0.5 * state + 0.5 * generator.integers(0, 2)
+
+
+def random_walk_step(state: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+    """x -> x + noise: never forgets its initial condition under coupling."""
+    return state + generator.normal()
+
+
+class TestCouplingDistanceProfile:
+    def test_contractive_system_distance_halves_each_step(self):
+        profile = coupling_distance_profile(
+            contractive_step, np.array([0.0]), np.array([8.0]), horizon=6, rng=0
+        )
+        np.testing.assert_allclose(profile[:4], [8.0, 4.0, 2.0, 1.0])
+
+    def test_random_walk_distance_is_constant_under_synchronous_coupling(self):
+        profile = coupling_distance_profile(
+            random_walk_step, np.array([0.0]), np.array([3.0]), horizon=20, rng=1
+        )
+        np.testing.assert_allclose(profile, 3.0)
+
+    def test_profile_length_is_horizon_plus_one(self):
+        profile = coupling_distance_profile(
+            contractive_step, np.array([0.0]), np.array([1.0]), horizon=10, rng=2
+        )
+        assert profile.shape == (11,)
+
+    def test_negative_horizon_is_rejected(self):
+        with pytest.raises(ValueError):
+            coupling_distance_profile(
+                contractive_step, np.array([0.0]), np.array([1.0]), horizon=-1
+            )
+
+    def test_identical_initial_states_stay_identical(self):
+        profile = coupling_distance_profile(
+            contractive_step, np.array([2.0]), np.array([2.0]), horizon=10, rng=3
+        )
+        np.testing.assert_allclose(profile, 0.0)
+
+
+class TestCouplingTime:
+    def test_contractive_system_couples_numerically(self):
+        profile = coupling_distance_profile(
+            contractive_step, np.array([0.0]), np.array([1.0]), horizon=100, rng=4
+        )
+        time = coupling_time(profile, tolerance=1e-9)
+        assert time is not None
+        assert time <= 60
+
+    def test_random_walk_never_couples(self):
+        profile = coupling_distance_profile(
+            random_walk_step, np.array([0.0]), np.array([5.0]), horizon=50, rng=5
+        )
+        assert coupling_time(profile, tolerance=1e-6) is None
+
+    def test_immediate_coupling_is_step_zero(self):
+        assert coupling_time([0.0, 0.0, 0.0]) == 0

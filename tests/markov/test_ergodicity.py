@@ -1,0 +1,113 @@
+"""Tests for repro.markov.ergodicity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.ergodicity import (
+    average_contraction_factor,
+    check_ergodicity,
+    is_aperiodic,
+    is_primitive,
+    is_strongly_connected,
+)
+from repro.markov.maps import AffineMap
+from repro.markov.system import MarkovEdge, MarkovSystem
+
+
+def contractive_single_vertex_system() -> MarkovSystem:
+    return MarkovSystem(
+        num_vertices=1,
+        edges=[
+            MarkovEdge(0, 0, AffineMap.scalar(0.5, 0.0), 0.5),
+            MarkovEdge(0, 0, AffineMap.scalar(0.5, 0.5), 0.5),
+        ],
+    )
+
+
+def periodic_two_vertex_system() -> MarkovSystem:
+    return MarkovSystem(
+        num_vertices=2,
+        edges=[
+            MarkovEdge(0, 1, AffineMap.scalar(0.5, 1.0), 1.0),
+            MarkovEdge(1, 0, AffineMap.scalar(0.5, -1.0), 1.0),
+        ],
+        vertex_of_state=lambda state: 0 if state[0] <= 0 else 1,
+    )
+
+
+class TestGraphConditions:
+    def test_single_vertex_with_self_loop_is_primitive(self):
+        adjacency = np.array([[1.0]])
+        assert is_strongly_connected(adjacency)
+        assert is_aperiodic(adjacency)
+        assert is_primitive(adjacency)
+
+    def test_two_cycle_is_strongly_connected_but_periodic(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert is_strongly_connected(adjacency)
+        assert not is_aperiodic(adjacency)
+        assert not is_primitive(adjacency)
+
+    def test_disconnected_graph_is_not_strongly_connected(self):
+        adjacency = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert not is_strongly_connected(adjacency)
+        assert not is_primitive(adjacency)
+
+    def test_two_cycle_with_self_loop_is_primitive(self):
+        adjacency = np.array([[1.0, 1.0], [1.0, 0.0]])
+        assert is_primitive(adjacency)
+
+    def test_one_way_chain_is_not_strongly_connected(self):
+        adjacency = np.array([[0.0, 1.0], [0.0, 1.0]])
+        assert not is_strongly_connected(adjacency)
+
+    def test_negative_adjacency_is_rejected(self):
+        with pytest.raises(ValueError):
+            is_primitive(np.array([[-1.0, 1.0], [1.0, 0.0]]))
+
+    def test_non_square_adjacency_is_rejected(self):
+        with pytest.raises(ValueError):
+            is_strongly_connected(np.ones((2, 3)))
+
+
+class TestAverageContractionFactor:
+    def test_contractive_system_factor_is_half(self):
+        factor = average_contraction_factor(contractive_single_vertex_system(), rng=1)
+        assert factor == pytest.approx(0.5, abs=1e-9)
+
+    def test_expanding_system_factor_exceeds_one(self):
+        system = MarkovSystem(
+            num_vertices=1,
+            edges=[MarkovEdge(0, 0, AffineMap.scalar(1.5, 0.0), 1.0)],
+        )
+        assert average_contraction_factor(system, rng=1) > 1.0
+
+    def test_rejects_non_positive_pair_count(self):
+        with pytest.raises(ValueError):
+            average_contraction_factor(contractive_single_vertex_system(), num_pairs=0)
+
+
+class TestCheckErgodicity:
+    def test_contractive_single_vertex_report(self):
+        report = check_ergodicity(contractive_single_vertex_system(), rng=0)
+        assert report.strongly_connected
+        assert report.primitive
+        assert report.uniquely_ergodic
+        assert report.invariant_measure_exists
+        assert report.contraction_factor == pytest.approx(0.5, abs=1e-9)
+
+    def test_periodic_system_is_not_uniquely_ergodic(self):
+        report = check_ergodicity(periodic_two_vertex_system(), estimate_contraction=False)
+        assert report.strongly_connected
+        assert not report.primitive
+        assert not report.uniquely_ergodic
+        assert report.invariant_measure_exists
+        assert report.contraction_factor is None
+
+    def test_summary_mentions_the_conclusion(self):
+        report = check_ergodicity(contractive_single_vertex_system(), rng=0)
+        assert "uniquely ergodic" in report.summary()
+        periodic = check_ergodicity(periodic_two_vertex_system(), estimate_contraction=False)
+        assert "invariant measure exists" in periodic.summary()

@@ -1,0 +1,151 @@
+"""Tests for repro.markov.ifs (iterated function systems and the user model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.ifs import IteratedFunctionSystem, SignalDependentIFS
+from repro.markov.maps import AffineMap, FunctionMap
+
+
+def simple_ifs() -> IteratedFunctionSystem:
+    return IteratedFunctionSystem(
+        maps=[AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)],
+        probabilities=[0.5, 0.5],
+    )
+
+
+def bernoulli_user(probability_if_approved: float = 0.8) -> SignalDependentIFS:
+    """A user whose action is 1 w.p. p when approved (signal 1) and 0 otherwise."""
+    return SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(1.0, 0.0),),
+        transition_probabilities=lambda signal: [1.0],
+        output_maps=(
+            FunctionMap(lambda x: np.array([1.0]), name="repay"),
+            FunctionMap(lambda x: np.array([0.0]), name="default"),
+        ),
+        output_probabilities=lambda signal: (
+            [probability_if_approved, 1.0 - probability_if_approved]
+            if signal >= 0.5
+            else [0.0, 1.0]
+        ),
+    )
+
+
+class TestIteratedFunctionSystem:
+    def test_rejects_empty_map_list(self):
+        with pytest.raises(ValueError):
+            IteratedFunctionSystem(maps=[], probabilities=[])
+
+    def test_rejects_probability_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IteratedFunctionSystem(maps=[AffineMap.scalar(0.5, 0.0)], probabilities=[0.5, 0.5])
+
+    def test_fixed_probabilities_are_returned(self):
+        ifs = simple_ifs()
+        np.testing.assert_allclose(ifs.probabilities_at(np.array([0.0])), [0.5, 0.5])
+
+    def test_place_dependent_probabilities(self):
+        ifs = IteratedFunctionSystem(
+            maps=[AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)],
+            probabilities=lambda x: [float(x[0]), 1.0 - float(x[0])],
+        )
+        np.testing.assert_allclose(ifs.probabilities_at(np.array([0.3])), [0.3, 0.7])
+
+    def test_place_dependent_length_mismatch_is_rejected(self):
+        ifs = IteratedFunctionSystem(
+            maps=[AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)],
+            probabilities=lambda x: [1.0],
+        )
+        with pytest.raises(ValueError):
+            ifs.probabilities_at(np.array([0.0]))
+
+    def test_step_applies_one_of_the_maps(self, rng):
+        ifs = simple_ifs()
+        next_state, index = ifs.step(np.array([1.0]), rng)
+        assert index in (0, 1)
+        assert next_state[0] in (0.5, 1.0)
+
+    def test_orbit_shape_and_reproducibility(self):
+        ifs = simple_ifs()
+        a = ifs.orbit(np.array([0.2]), 40, 11)
+        b = ifs.orbit(np.array([0.2]), 40, 11)
+        assert a.shape == (41, 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_orbit_converges_to_unit_interval(self):
+        ifs = simple_ifs()
+        orbit = ifs.orbit(np.array([100.0]), 300, 2)
+        assert np.all((orbit[100:] >= -1e-9) & (orbit[100:] <= 1.0 + 1e-9))
+
+    def test_negative_length_is_rejected(self):
+        with pytest.raises(ValueError):
+            simple_ifs().orbit(np.array([0.0]), -5)
+
+    def test_average_contraction_estimate(self):
+        ifs = simple_ifs()
+        pairs = [(np.array([0.0]), np.array([1.0])), (np.array([-1.0]), np.array([2.0]))]
+        assert ifs.average_contraction_estimate(pairs) == pytest.approx(0.5)
+
+
+class TestSignalDependentIFS:
+    def test_rejects_empty_maps(self):
+        with pytest.raises(ValueError):
+            SignalDependentIFS(
+                transition_maps=(),
+                transition_probabilities=lambda s: [],
+                output_maps=(AffineMap.scalar(1.0, 0.0),),
+                output_probabilities=lambda s: [1.0],
+            )
+
+    def test_step_returns_state_and_action(self, rng):
+        user = bernoulli_user()
+        next_state, action = user.step(np.array([0.0]), 1.0, rng)
+        assert next_state.shape == (1,)
+        assert float(action[0]) in (0.0, 1.0)
+
+    def test_denied_user_never_acts(self):
+        user = bernoulli_user()
+        actions = [float(user.step(np.array([0.0]), 0.0, seed)[1][0]) for seed in range(30)]
+        assert all(action == 0.0 for action in actions)
+
+    def test_approved_user_acts_with_roughly_the_right_frequency(self):
+        user = bernoulli_user(probability_if_approved=0.8)
+        generator = np.random.default_rng(0)
+        actions = [float(user.step(np.array([0.0]), 1.0, generator)[1][0]) for _ in range(2000)]
+        assert np.mean(actions) == pytest.approx(0.8, abs=0.03)
+
+    def test_trajectory_shapes(self, rng):
+        user = bernoulli_user()
+        states, actions = user.trajectory(np.array([0.0]), [1.0, 1.0, 0.0], rng)
+        assert states.shape == (4, 1)
+        assert actions.shape == (3, 1)
+
+    def test_empty_signal_sequence_gives_empty_actions(self, rng):
+        user = bernoulli_user()
+        states, actions = user.trajectory(np.array([0.0]), [], rng)
+        assert states.shape == (1, 1)
+        assert actions.shape[0] == 0
+
+    def test_probability_vectors_must_match_map_counts(self):
+        broken = SignalDependentIFS(
+            transition_maps=(AffineMap.scalar(1.0, 0.0),),
+            transition_probabilities=lambda s: [0.5, 0.5],
+            output_maps=(AffineMap.scalar(1.0, 0.0),),
+            output_probabilities=lambda s: [1.0],
+        )
+        with pytest.raises(ValueError):
+            broken.step(np.array([0.0]), 1.0, 0)
+
+    def test_state_transitions_follow_selected_map(self):
+        doubling_user = SignalDependentIFS(
+            transition_maps=(AffineMap.scalar(2.0, 0.0),),
+            transition_probabilities=lambda s: [1.0],
+            output_maps=(AffineMap.scalar(1.0, 0.0),),
+            output_probabilities=lambda s: [1.0],
+        )
+        next_state, action = doubling_user.step(np.array([3.0]), 1.0, 0)
+        assert next_state[0] == pytest.approx(6.0)
+        # The action is computed from the *current* state (equation 9b).
+        assert action[0] == pytest.approx(3.0)

@@ -1,0 +1,147 @@
+"""Tests for repro.markov.invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.ifs import IteratedFunctionSystem
+from repro.markov.invariant import (
+    EmpiricalMeasure,
+    estimate_invariant_measure,
+    total_variation_distance,
+    unique_ergodicity_diagnostic,
+    wasserstein_distance_1d,
+)
+from repro.markov.maps import AffineMap
+
+
+class TestEmpiricalMeasure:
+    def test_promotes_1d_samples(self):
+        measure = EmpiricalMeasure(samples=np.array([1.0, 2.0, 3.0]))
+        assert measure.samples.shape == (3, 1)
+        assert measure.size == 3
+        assert measure.dimension == 1
+
+    def test_mean_and_expectation(self):
+        measure = EmpiricalMeasure(samples=np.array([[0.0], [2.0]]))
+        np.testing.assert_allclose(measure.mean(), [1.0])
+        assert measure.expectation(lambda x: float(x[0]) ** 2) == pytest.approx(2.0)
+
+    def test_quantile(self):
+        measure = EmpiricalMeasure(samples=np.linspace(0, 1, 101))
+        assert measure.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalMeasure(samples=np.empty((0, 1)))
+
+
+class TestEstimateInvariantMeasure:
+    def test_burn_in_discards_prefix(self):
+        orbit = np.concatenate([np.full(50, 100.0), np.zeros(50)])
+        measure = estimate_invariant_measure(orbit, burn_in=0.5)
+        assert float(measure.mean()[0]) == pytest.approx(0.0)
+
+    def test_rejects_bad_burn_in(self):
+        with pytest.raises(ValueError):
+            estimate_invariant_measure(np.zeros(10), burn_in=1.0)
+
+    def test_rejects_too_short_orbit(self):
+        with pytest.raises(ValueError):
+            estimate_invariant_measure(np.zeros(1))
+
+
+class TestDistances:
+    def test_wasserstein_of_identical_samples_is_zero(self):
+        samples = np.random.default_rng(0).random(100)
+        assert wasserstein_distance_1d(samples, samples) == pytest.approx(0.0, abs=1e-12)
+
+    def test_wasserstein_of_shifted_samples_equals_shift(self):
+        samples = np.random.default_rng(0).random(500)
+        assert wasserstein_distance_1d(samples, samples + 2.0) == pytest.approx(2.0, abs=0.01)
+
+    def test_wasserstein_is_symmetric(self):
+        a = np.random.default_rng(1).normal(size=200)
+        b = np.random.default_rng(2).normal(loc=1.0, size=300)
+        assert wasserstein_distance_1d(a, b) == pytest.approx(
+            wasserstein_distance_1d(b, a), abs=1e-9
+        )
+
+    def test_wasserstein_rejects_empty(self):
+        with pytest.raises(ValueError):
+            wasserstein_distance_1d([], [1.0])
+
+    def test_total_variation_of_identical_samples_is_zero(self):
+        samples = np.random.default_rng(0).random(100)
+        assert total_variation_distance(samples, samples) == pytest.approx(0.0)
+
+    def test_total_variation_of_disjoint_samples_is_one(self):
+        assert total_variation_distance(np.zeros(50), np.ones(50) * 10, bins=5) == pytest.approx(
+            1.0
+        )
+
+    def test_total_variation_handles_constant_samples(self):
+        assert total_variation_distance(np.zeros(10), np.zeros(10)) == pytest.approx(0.0)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_total_variation_is_bounded_by_one(self, bins):
+        rng = np.random.default_rng(bins)
+        a = rng.normal(size=100)
+        b = rng.normal(loc=3.0, size=100)
+        distance = total_variation_distance(a, b, bins=bins)
+        assert 0.0 <= distance <= 1.0
+
+
+class TestUniqueErgodicityDiagnostic:
+    def test_contractive_ifs_passes(self):
+        ifs = IteratedFunctionSystem(
+            maps=[AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)],
+            probabilities=[0.5, 0.5],
+        )
+        diagnostic = unique_ergodicity_diagnostic(
+            simulate_orbit=lambda x0, length, generator: ifs.orbit(x0, length, generator),
+            initial_states=[np.array([-10.0]), np.array([10.0])],
+            orbit_length=1500,
+            tolerance=0.05,
+            rng=3,
+        )
+        assert diagnostic.consistent_with_unique_ergodicity
+        assert diagnostic.max_distance < 0.05
+
+    def test_frozen_dynamics_fails(self):
+        # x(k+1) = x(k): the orbit never forgets its initial condition.
+        def frozen_orbit(x0, length, generator):
+            return np.full((length + 1, 1), float(x0[0]))
+
+        diagnostic = unique_ergodicity_diagnostic(
+            simulate_orbit=frozen_orbit,
+            initial_states=[np.array([0.0]), np.array([5.0])],
+            orbit_length=200,
+            tolerance=0.1,
+            rng=0,
+        )
+        assert not diagnostic.consistent_with_unique_ergodicity
+        assert diagnostic.max_distance == pytest.approx(5.0, abs=0.01)
+
+    def test_requires_at_least_two_initial_states(self):
+        with pytest.raises(ValueError):
+            unique_ergodicity_diagnostic(
+                simulate_orbit=lambda x0, length, generator: np.zeros((length + 1, 1)),
+                initial_states=[np.array([0.0])],
+            )
+
+    def test_pairwise_distance_count(self):
+        def noisy_orbit(x0, length, generator):
+            return generator.normal(size=(length + 1, 1))
+
+        diagnostic = unique_ergodicity_diagnostic(
+            simulate_orbit=noisy_orbit,
+            initial_states=[np.array([0.0]), np.array([1.0]), np.array([2.0])],
+            orbit_length=300,
+            rng=1,
+        )
+        assert len(diagnostic.wasserstein_distances) == 3

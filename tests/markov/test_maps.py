@@ -1,0 +1,74 @@
+"""Tests for repro.markov.maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.maps import AffineMap, FunctionMap
+
+
+class TestAffineMap:
+    def test_scalar_constructor_and_call(self):
+        mapping = AffineMap.scalar(0.5, 1.0)
+        np.testing.assert_allclose(mapping(np.array([2.0])), [2.0])
+
+    def test_matrix_vector_form(self):
+        mapping = AffineMap(matrix=np.array([[0.0, 1.0], [1.0, 0.0]]), offset=np.zeros(2))
+        np.testing.assert_allclose(mapping(np.array([1.0, 2.0])), [2.0, 1.0])
+
+    def test_scalar_input_is_promoted(self):
+        mapping = AffineMap.scalar(2.0, 0.0)
+        np.testing.assert_allclose(mapping(3.0), [6.0])
+
+    def test_lipschitz_constant_is_spectral_norm(self):
+        mapping = AffineMap(matrix=np.diag([0.5, 0.25]), offset=np.zeros(2))
+        assert mapping.lipschitz_constant() == pytest.approx(0.5)
+
+    def test_fixed_point_of_contraction(self):
+        mapping = AffineMap.scalar(0.5, 1.0)
+        fixed_point = mapping.fixed_point()
+        np.testing.assert_allclose(mapping(fixed_point), fixed_point)
+        np.testing.assert_allclose(fixed_point, [2.0])
+
+    def test_fixed_point_fails_for_identity(self):
+        mapping = AffineMap.scalar(1.0, 1.0)
+        with pytest.raises(np.linalg.LinAlgError):
+            mapping.fixed_point()
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            AffineMap(matrix=np.eye(2), offset=np.zeros(3))
+
+    @given(
+        st.floats(-0.9, 0.9),
+        st.floats(-5, 5),
+        st.floats(-10, 10),
+        st.floats(-10, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_contraction_shrinks_distances(self, slope, intercept, x, y):
+        mapping = AffineMap.scalar(slope, intercept)
+        image_gap = abs(mapping(np.array([x]))[0] - mapping(np.array([y]))[0])
+        assert image_gap <= abs(slope) * abs(x - y) + 1e-9
+
+
+class TestFunctionMap:
+    def test_wraps_callable(self):
+        mapping = FunctionMap(lambda x: x**2, name="square")
+        np.testing.assert_allclose(mapping(np.array([3.0])), [9.0])
+
+    def test_declared_lipschitz_constant_is_returned(self):
+        mapping = FunctionMap(lambda x: 0.5 * x, lipschitz=0.5)
+        assert mapping.lipschitz_constant() == 0.5
+
+    def test_unknown_lipschitz_is_none(self):
+        mapping = FunctionMap(np.sin)
+        assert mapping.lipschitz_constant() is None
+
+    def test_output_is_at_least_1d(self):
+        mapping = FunctionMap(lambda x: float(x[0]) + 1.0)
+        result = mapping(np.array([1.0]))
+        assert result.ndim == 1

@@ -1,0 +1,88 @@
+"""Tests for repro.markov.spectral (spectral gap and mixing time)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.spectral import mixing_time_upper_bound, spectral_diagnostics
+
+
+def two_state_chain(p: float, q: float) -> np.ndarray:
+    """Return the 2-state chain that flips 0->1 w.p. p and 1->0 w.p. q."""
+    return np.array([[1.0 - p, p], [q, 1.0 - q]])
+
+
+class TestSpectralDiagnostics:
+    def test_two_state_chain_slem_is_known_in_closed_form(self):
+        # Eigenvalues of the 2-state chain are 1 and 1 - p - q.
+        diagnostics = spectral_diagnostics(two_state_chain(0.3, 0.2))
+        assert diagnostics.second_largest_modulus == pytest.approx(0.5, abs=1e-9)
+        assert diagnostics.spectral_gap == pytest.approx(0.5, abs=1e-9)
+        assert diagnostics.relaxation_time == pytest.approx(2.0, abs=1e-9)
+        assert diagnostics.geometrically_ergodic
+
+    def test_stationary_distribution_is_included(self):
+        diagnostics = spectral_diagnostics(two_state_chain(0.1, 0.4))
+        np.testing.assert_allclose(diagnostics.stationary, [0.8, 0.2], atol=1e-6)
+
+    def test_periodic_chain_has_zero_gap(self):
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        diagnostics = spectral_diagnostics(flip)
+        assert diagnostics.spectral_gap == pytest.approx(0.0, abs=1e-9)
+        assert not diagnostics.geometrically_ergodic
+        assert diagnostics.relaxation_time == float("inf")
+
+    def test_reducible_chain_has_zero_gap(self):
+        identity = np.eye(2)
+        assert spectral_diagnostics(identity).spectral_gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_faster_chains_have_larger_gaps(self):
+        slow = spectral_diagnostics(two_state_chain(0.05, 0.05))
+        fast = spectral_diagnostics(two_state_chain(0.45, 0.45))
+        assert fast.spectral_gap > slow.spectral_gap
+
+    def test_rejects_non_square_matrices(self):
+        with pytest.raises(ValueError):
+            spectral_diagnostics(np.ones((2, 3)) / 3.0)
+
+    def test_rejects_non_stochastic_matrices(self):
+        with pytest.raises(ValueError):
+            spectral_diagnostics(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    @given(
+        st.floats(0.05, 0.95),
+        st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gap_matches_the_closed_form_for_two_states(self, p, q):
+        diagnostics = spectral_diagnostics(two_state_chain(p, q))
+        assert diagnostics.second_largest_modulus == pytest.approx(abs(1.0 - p - q), abs=1e-9)
+
+
+class TestMixingTimeUpperBound:
+    def test_bound_is_finite_for_an_ergodic_chain(self):
+        bound = mixing_time_upper_bound(two_state_chain(0.3, 0.3))
+        assert np.isfinite(bound)
+        assert bound > 0
+
+    def test_bound_is_infinite_for_a_periodic_chain(self):
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert mixing_time_upper_bound(flip) == float("inf")
+
+    def test_slower_chains_have_larger_bounds(self):
+        slow = mixing_time_upper_bound(two_state_chain(0.05, 0.05))
+        fast = mixing_time_upper_bound(two_state_chain(0.45, 0.45))
+        assert slow > fast
+
+    def test_smaller_epsilon_means_a_larger_bound(self):
+        chain = two_state_chain(0.3, 0.3)
+        assert mixing_time_upper_bound(chain, epsilon=0.01) > mixing_time_upper_bound(
+            chain, epsilon=0.25
+        )
+
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            mixing_time_upper_bound(two_state_chain(0.3, 0.3), epsilon=1.5)

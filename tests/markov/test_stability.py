@@ -1,0 +1,112 @@
+"""Tests for repro.markov.stability (incremental ISS utilities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.stability import (
+    estimate_contraction_rate,
+    incremental_iss_diagnostic,
+    is_class_k,
+    is_class_kl,
+)
+
+
+class TestClassK:
+    def test_linear_function_is_class_k(self):
+        assert is_class_k(lambda s: 2.0 * s)
+
+    def test_square_root_is_class_k(self):
+        assert is_class_k(lambda s: np.sqrt(s))
+
+    def test_constant_is_not_class_k(self):
+        assert not is_class_k(lambda s: 1.0)
+
+    def test_nonzero_at_origin_is_not_class_k(self):
+        assert not is_class_k(lambda s: s + 1.0)
+
+    def test_decreasing_function_is_not_class_k(self):
+        assert not is_class_k(lambda s: -s)
+
+    def test_grid_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            is_class_k(lambda s: s, grid=[1.0, 2.0])
+
+
+class TestClassKL:
+    def test_exponentially_decaying_linear_is_class_kl(self):
+        assert is_class_kl(lambda s, t: s * np.exp(-0.5 * t))
+
+    def test_non_decaying_is_not_class_kl(self):
+        assert not is_class_kl(lambda s, t: s)
+
+    def test_increasing_in_time_is_not_class_kl(self):
+        assert not is_class_kl(lambda s, t: s * (1.0 + 0.1 * t))
+
+
+class TestContractionRate:
+    def test_linear_contraction(self):
+        rate = estimate_contraction_rate(
+            lambda x, u: 0.5 * x + u, state_dimension=2, input_dimension=2, rng=0
+        )
+        assert rate == pytest.approx(0.5, abs=1e-9)
+
+    def test_expansion_is_detected(self):
+        rate = estimate_contraction_rate(
+            lambda x, u: 2.0 * x, state_dimension=1, input_dimension=1, rng=0
+        )
+        assert rate == pytest.approx(2.0, abs=1e-9)
+
+    def test_rejects_non_positive_sample_count(self):
+        with pytest.raises(ValueError):
+            estimate_contraction_rate(
+                lambda x, u: x, state_dimension=1, input_dimension=1, num_samples=0
+            )
+
+
+class TestIncrementalISSDiagnostic:
+    def test_stable_linear_system_passes(self):
+        diagnostic = incremental_iss_diagnostic(
+            lambda x, u: 0.8 * x + 0.1 * u,
+            state_dimension=1,
+            input_dimension=1,
+            horizon=300,
+            rng=1,
+        )
+        assert diagnostic.contraction_rate == pytest.approx(0.8, abs=1e-6)
+        assert diagnostic.trajectories_converge
+        assert diagnostic.consistent_with_incremental_iss
+        assert diagnostic.input_gain == pytest.approx(0.1, abs=1e-6)
+
+    def test_marginally_stable_system_fails(self):
+        diagnostic = incremental_iss_diagnostic(
+            lambda x, u: x + 0.0 * u,
+            state_dimension=1,
+            input_dimension=1,
+            horizon=100,
+            rng=1,
+        )
+        assert not diagnostic.consistent_with_incremental_iss
+
+    def test_unstable_system_fails(self):
+        diagnostic = incremental_iss_diagnostic(
+            lambda x, u: 1.2 * x + u,
+            state_dimension=1,
+            input_dimension=1,
+            horizon=60,
+            rng=2,
+        )
+        assert diagnostic.contraction_rate > 1.0
+        assert not diagnostic.consistent_with_incremental_iss
+
+    def test_multidimensional_system(self):
+        matrix = np.array([[0.5, 0.1], [0.0, 0.6]])
+        diagnostic = incremental_iss_diagnostic(
+            lambda x, u: matrix @ x + u,
+            state_dimension=2,
+            input_dimension=2,
+            horizon=200,
+            rng=3,
+        )
+        assert diagnostic.consistent_with_incremental_iss

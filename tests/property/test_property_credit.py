@@ -1,0 +1,111 @@
+"""Property-based tests on the credit substrate's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.credit.borrower import affordability_state
+from repro.credit.default_rates import DefaultRateTracker
+from repro.credit.mortgage import MortgageTerms
+from repro.credit.repayment import GaussianRepaymentModel
+
+incomes_strategy = st.lists(st.floats(0.0, 500.0), min_size=1, max_size=30)
+
+
+class TestAffordabilityProperties:
+    @given(incomes_strategy, st.floats(0.5, 10.0), st.floats(0.0, 0.2))
+    @settings(max_examples=60, deadline=None)
+    def test_state_never_exceeds_one(self, incomes, multiple, rate):
+        terms = MortgageTerms(income_multiple=multiple, annual_rate=rate, living_cost=5.0)
+        states = affordability_state(incomes, terms)
+        assert np.all(states < 1.0)
+
+    @given(st.floats(0.1, 500.0), st.floats(0.1, 500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_state_is_monotone_in_income(self, income_a, income_b):
+        terms = MortgageTerms()
+        low, high = sorted([income_a, income_b])
+        states = affordability_state([low, high], terms)
+        assert states[1] >= states[0] - 1e-12
+
+    @given(st.floats(0.1, 500.0), st.floats(0.0, 30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_higher_living_cost_never_helps(self, income, extra_cost):
+        cheap = MortgageTerms(living_cost=5.0)
+        expensive = MortgageTerms(living_cost=5.0 + extra_cost)
+        assert (
+            affordability_state(income, expensive)[0]
+            <= affordability_state(income, cheap)[0] + 1e-12
+        )
+
+
+class TestRepaymentProperties:
+    @given(st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_in_the_unit_interval(self, states):
+        model = GaussianRepaymentModel()
+        probabilities = model.repayment_probability(states)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+    @given(
+        st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_repayments_respect_the_offer_mask(self, states, seed):
+        model = GaussianRepaymentModel()
+        rng = np.random.default_rng(seed)
+        decisions = rng.integers(0, 2, size=len(states))
+        repayments = model.sample_repayments(states, decisions, rng)
+        assert np.all(repayments[decisions == 0] == 0)
+        assert set(np.unique(repayments)).issubset({0, 1})
+
+
+class TestDefaultRateTrackerProperties:
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rates_always_lie_in_the_unit_interval(self, num_users, num_steps, seed):
+        rng = np.random.default_rng(seed)
+        tracker = DefaultRateTracker(num_users)
+        for _ in range(num_steps):
+            decisions = rng.integers(0, 2, size=num_users)
+            repayments = np.where(
+                decisions == 1, rng.integers(0, 2, size=num_users), 0
+            )
+            tracker.record(decisions, repayments)
+        rates = tracker.user_rates()
+        assert np.all((rates >= 0.0) & (rates <= 1.0))
+        assert 0.0 <= tracker.portfolio_rate() <= 1.0
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_rates_match_the_direct_formula(self, num_steps, seed):
+        rng = np.random.default_rng(seed)
+        tracker = DefaultRateTracker(1)
+        offers = 0
+        repaid = 0
+        for _ in range(num_steps):
+            decision = int(rng.integers(0, 2))
+            repayment = int(rng.integers(0, 2)) if decision else 0
+            tracker.record([decision], [repayment])
+            offers += decision
+            repaid += repayment
+        expected = 0.0 if offers == 0 else 1.0 - repaid / offers
+        assert tracker.user_rates()[0] == pytest.approx(expected)
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_repaid_means_zero_rate_everywhere(self, num_users, seed):
+        tracker = DefaultRateTracker(num_users)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            decisions = rng.integers(0, 2, size=num_users)
+            tracker.record(decisions, decisions)  # everyone offered repays
+        assert np.all(tracker.user_rates() == 0.0)

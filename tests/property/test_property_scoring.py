@@ -1,0 +1,120 @@
+"""Property-based tests on the scoring substrate's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring.calibration import ScoreScaler
+from repro.scoring.cutoff import CutoffPolicy
+from repro.scoring.logistic import LogisticRegression
+from repro.scoring.scorecard import Scorecard, ScorecardFactor, paper_table1_scorecard
+
+
+class TestScorecardProperties:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 300.0))
+    @settings(max_examples=80, deadline=None)
+    def test_paper_card_score_is_bounded(self, adr, income):
+        card = paper_table1_scorecard()
+        score = card.score({"average_default_rate": adr, "income": income})
+        assert -8.17 - 1e-9 <= score <= 5.77 + 1e-9
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.0, 300.0))
+    @settings(max_examples=80, deadline=None)
+    def test_paper_card_is_monotone_decreasing_in_the_default_rate(
+        self, adr_a, adr_b, income
+    ):
+        card = paper_table1_scorecard()
+        low, high = sorted([adr_a, adr_b])
+        score_low = card.score({"average_default_rate": low, "income": income})
+        score_high = card.score({"average_default_rate": high, "income": income})
+        assert score_high <= score_low + 1e-12
+
+    @given(
+        st.lists(st.floats(-10.0, 10.0), min_size=1, max_size=5),
+        st.floats(-5.0, 5.0),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scorecard_score_is_linear_in_the_features(self, points, base, rows, seed):
+        factors = [ScorecardFactor(name=f"f{i}", points=p) for i, p in enumerate(points)]
+        card = Scorecard(factors=factors, base_score=base)
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rows, len(points)))
+        b = rng.normal(size=(rows, len(points)))
+        combined = card.score_matrix(a + b)
+        separate = card.score_matrix(a) + card.score_matrix(b) - base
+        np.testing.assert_allclose(combined, separate, atol=1e-9)
+
+
+class TestCutoffProperties:
+    @given(
+        st.lists(st.floats(-10.0, 10.0), min_size=1, max_size=50),
+        st.floats(-5.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_raising_the_cutoff_never_approves_more_users(self, scores, cutoff):
+        lenient = CutoffPolicy(cutoff=cutoff)
+        strict = CutoffPolicy(cutoff=cutoff + 1.0)
+        assert strict.decide(scores).sum() <= lenient.decide(scores).sum()
+
+    @given(st.lists(st.floats(-10.0, 10.0), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_decisions_are_binary(self, scores):
+        decisions = CutoffPolicy().decide(scores)
+        assert set(np.unique(decisions)).issubset({0, 1})
+
+
+class TestLogisticProperties:
+    @given(st.integers(min_value=10, max_value=80), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_predicted_probabilities_are_always_valid(self, n, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(n, 2))
+        labels = rng.integers(0, 2, size=n)
+        model = LogisticRegression()
+        model.fit(features, labels)
+        probabilities = model.predict_probability(features)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+        assert np.all(np.isfinite(probabilities))
+
+    @given(st.integers(min_value=20, max_value=100), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_decision_function_is_monotone_in_a_positively_weighted_feature(self, n, seed):
+        rng = np.random.default_rng(seed)
+        feature = rng.normal(size=n)
+        labels = (feature + 0.3 * rng.normal(size=n) > 0).astype(int)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        model = LogisticRegression()
+        model.fit(feature, labels)
+        grid = np.linspace(-3, 3, 20)
+        values = model.decision_function(grid)
+        signs = np.sign(np.diff(values))
+        assert np.all(signs == signs[0]) or np.all(signs == 0)
+
+
+class TestScalerProperties:
+    @given(
+        st.floats(100.0, 1000.0),
+        st.floats(1.0, 100.0),
+        st.floats(5.0, 100.0),
+        st.lists(st.floats(-5.0, 5.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_the_identity(self, base_score, base_odds, pdo, log_odds):
+        scaler = ScoreScaler(
+            base_score=base_score, base_odds=base_odds, points_to_double_odds=pdo
+        )
+        recovered = scaler.log_odds_from_points(scaler.points_from_log_odds(log_odds))
+        np.testing.assert_allclose(recovered, log_odds, atol=1e-6)
+
+    @given(st.lists(st.floats(-5.0, 5.0), min_size=2, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_preserves_the_score_ordering(self, log_odds):
+        scaler = ScoreScaler()
+        points = scaler.points_from_log_odds(np.sort(log_odds))
+        assert np.all(np.diff(points) >= -1e-9)

@@ -1,0 +1,91 @@
+"""Tests for repro.scoring.counterfactual."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scoring.counterfactual import explain_decision
+from repro.scoring.scorecard import Scorecard, ScorecardFactor, paper_table1_scorecard
+
+
+class TestExplainDecision:
+    def test_approved_applicant_needs_no_explanation(self):
+        card = paper_table1_scorecard()
+        explanations = explain_decision(
+            card, {"average_default_rate": 0.1, "income": 50.0}, cutoff=0.4
+        )
+        assert explanations == []
+
+    def test_declined_applicant_gets_one_explanation_per_factor(self):
+        card = paper_table1_scorecard()
+        explanations = explain_decision(
+            card, {"average_default_rate": 0.5, "income": 10.0}, cutoff=0.4
+        )
+        assert {explanation.factor for explanation in explanations} == {
+            "average_default_rate",
+            "income",
+        }
+
+    def test_counterfactual_score_crosses_the_cutoff(self):
+        card = Scorecard(
+            factors=[
+                ScorecardFactor("average_default_rate", points=-8.17),
+                ScorecardFactor("income_code", points=5.77),
+            ]
+        )
+        features = {"average_default_rate": 0.5, "income_code": 0.0}
+        explanations = explain_decision(card, features, cutoff=0.4)
+        by_factor = {explanation.factor: explanation for explanation in explanations}
+        adr = by_factor["average_default_rate"]
+        adjusted = dict(features)
+        adjusted["average_default_rate"] = adr.required_value
+        assert card.score(adjusted) > 0.4
+
+    def test_default_rate_counterfactual_requires_a_decrease(self):
+        card = paper_table1_scorecard()
+        explanations = explain_decision(
+            card, {"average_default_rate": 0.8, "income": 50.0}, cutoff=0.4
+        )
+        by_factor = {explanation.factor: explanation for explanation in explanations}
+        assert by_factor["average_default_rate"].change < 0
+
+    def test_infeasible_changes_are_flagged(self):
+        # Even a perfect default history cannot rescue this cut-off.
+        card = Scorecard(factors=[ScorecardFactor("average_default_rate", points=-8.17)])
+        explanations = explain_decision(
+            card, {"average_default_rate": 0.9}, cutoff=1.0
+        )
+        assert len(explanations) == 1
+        assert not explanations[0].achievable
+
+    def test_explanations_are_sorted_by_effort(self):
+        card = Scorecard(
+            factors=[
+                ScorecardFactor("small_lever", points=10.0),
+                ScorecardFactor("big_lever", points=0.5),
+            ]
+        )
+        explanations = explain_decision(
+            card, {"small_lever": 0.0, "big_lever": 0.0}, cutoff=1.0,
+            bounds={"small_lever": (0.0, 10.0), "big_lever": (0.0, 10.0)},
+        )
+        assert explanations[0].factor == "small_lever"
+        assert abs(explanations[0].change) < abs(explanations[1].change)
+
+    def test_zero_point_factors_are_skipped(self):
+        card = Scorecard(
+            factors=[
+                ScorecardFactor("useless", points=0.0),
+                ScorecardFactor("useful", points=2.0),
+            ]
+        )
+        explanations = explain_decision(card, {"useless": 0.0, "useful": 0.0}, cutoff=1.0)
+        assert [explanation.factor for explanation in explanations] == ["useful"]
+
+    def test_describe_mentions_the_direction(self):
+        card = paper_table1_scorecard()
+        explanations = explain_decision(
+            card, {"average_default_rate": 0.8, "income": 50.0}, cutoff=0.4
+        )
+        text = explanations[0].describe()
+        assert "increase" in text or "decrease" in text

@@ -1,0 +1,35 @@
+"""Tests for repro.scoring.cutoff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scoring.cutoff import CutoffPolicy
+
+
+class TestCutoffPolicy:
+    def test_paper_default_cutoff_is_04(self):
+        assert CutoffPolicy().cutoff == pytest.approx(0.4)
+
+    def test_scores_above_cutoff_are_approved(self):
+        policy = CutoffPolicy(cutoff=0.4)
+        np.testing.assert_array_equal(policy.decide([0.5, 0.3, 4.953]), [1, 0, 1])
+
+    def test_tie_is_denied_by_default(self):
+        assert CutoffPolicy(cutoff=0.4).decide([0.4])[0] == 0
+
+    def test_tie_can_be_approved(self):
+        assert CutoffPolicy(cutoff=0.4, approve_on_tie=True).decide([0.4])[0] == 1
+
+    def test_approval_rate(self):
+        policy = CutoffPolicy(cutoff=0.0)
+        assert policy.approval_rate([-1.0, 1.0, 2.0, 3.0]) == pytest.approx(0.75)
+
+    def test_approval_rate_of_empty_scores_raises(self):
+        with pytest.raises(ValueError):
+            CutoffPolicy().approval_rate([])
+
+    def test_paper_worked_example_is_approved(self):
+        # Table I example: score 4.953 with cut-off 0.4 -> approval.
+        assert CutoffPolicy(cutoff=0.4).decide([4.953])[0] == 1

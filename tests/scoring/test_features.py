@@ -1,0 +1,48 @@
+"""Tests for repro.scoring.features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scoring.features import FeatureBuilder, income_code
+
+
+class TestIncomeCode:
+    def test_threshold_at_15k(self):
+        np.testing.assert_array_equal(
+            income_code([10.0, 15.0, 20.0]), [0.0, 1.0, 1.0]
+        )
+
+    def test_custom_threshold(self):
+        np.testing.assert_array_equal(income_code([40.0, 60.0], threshold=50.0), [0.0, 1.0])
+
+    def test_result_is_float_zero_one(self):
+        codes = income_code([1.0, 100.0])
+        assert codes.dtype == float
+        assert set(codes.tolist()) <= {0.0, 1.0}
+
+
+class TestFeatureBuilder:
+    def test_design_matrix_layout(self):
+        builder = FeatureBuilder()
+        matrix = builder.design_matrix([10.0, 50.0], [0.2, 0.0])
+        np.testing.assert_allclose(matrix, [[0.0, 0.2], [1.0, 0.0]])
+        assert builder.feature_names == ("income_code", "average_default_rate")
+
+    def test_misaligned_inputs_are_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureBuilder().design_matrix([10.0], [0.1, 0.2])
+
+    def test_out_of_range_default_rates_are_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureBuilder().design_matrix([10.0], [1.5])
+
+    def test_rates_are_clipped_to_unit_interval(self):
+        matrix = FeatureBuilder().design_matrix([10.0], [1.0 + 1e-12])
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_custom_income_threshold(self):
+        builder = FeatureBuilder(income_threshold=30.0)
+        matrix = builder.design_matrix([20.0, 40.0], [0.0, 0.0])
+        np.testing.assert_allclose(matrix[:, 0], [0.0, 1.0])

@@ -1,0 +1,158 @@
+"""Tests for repro.scoring.logistic (from-scratch logistic regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring.logistic import LogisticRegression
+
+
+def make_separable_data(n: int = 400, seed: int = 0):
+    """Two Gaussian clouds: label 1 when the feature mean is positive."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-1.0, scale=1.0, size=(n // 2, 2))
+    x1 = rng.normal(loc=+1.0, scale=1.0, size=(n // 2, 2))
+    features = np.vstack([x0, x1])
+    labels = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+    return features, labels
+
+
+class TestFitting:
+    def test_learns_the_sign_of_an_informative_feature(self):
+        features, labels = make_separable_data()
+        model = LogisticRegression()
+        fit = model.fit(features, labels)
+        assert fit.converged
+        assert np.all(fit.coefficients > 0)
+
+    def test_predicts_well_on_training_data(self):
+        features, labels = make_separable_data()
+        model = LogisticRegression()
+        model.fit(features, labels)
+        accuracy = float(np.mean(model.predict(features) == labels))
+        assert accuracy > 0.85
+
+    def test_probabilities_are_in_unit_interval(self):
+        features, labels = make_separable_data()
+        model = LogisticRegression()
+        model.fit(features, labels)
+        probabilities = model.predict_probability(features)
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+    def test_1d_feature_input_is_accepted(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=200)
+        y = (x > 0).astype(int)
+        model = LogisticRegression()
+        model.fit(x, y)
+        assert model.coefficients.shape == (1,)
+        assert model.coefficients[0] > 0
+
+    def test_intercept_tracks_class_imbalance(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(500, 1)) * 0.01  # uninformative
+        labels = (rng.random(500) < 0.9).astype(int)
+        model = LogisticRegression()
+        model.fit(features, labels)
+        implied = 1.0 / (1.0 + np.exp(-model.intercept))
+        assert implied == pytest.approx(0.9, abs=0.05)
+
+    def test_sample_weights_shift_the_fit(self):
+        features = np.array([[0.0], [0.0]])
+        labels = np.array([0, 1])
+        heavy_on_one = LogisticRegression()
+        heavy_on_one.fit(features, labels, sample_weights=[1.0, 10.0])
+        balanced = LogisticRegression()
+        balanced.fit(features, labels, sample_weights=[1.0, 1.0])
+        assert heavy_on_one.intercept > balanced.intercept
+
+    def test_recovers_known_coefficients_approximately(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(5000, 2))
+        logits = 1.5 * features[:, 0] - 2.0 * features[:, 1] + 0.25
+        labels = (rng.random(5000) < 1.0 / (1.0 + np.exp(-logits))).astype(int)
+        model = LogisticRegression(l2_penalty=1e-6)
+        fit = model.fit(features, labels)
+        assert fit.coefficients[0] == pytest.approx(1.5, abs=0.2)
+        assert fit.coefficients[1] == pytest.approx(-2.0, abs=0.2)
+        assert fit.intercept == pytest.approx(0.25, abs=0.2)
+
+
+class TestDegenerateCases:
+    def test_all_positive_labels_yield_intercept_only_model(self):
+        features = np.random.default_rng(0).normal(size=(50, 2))
+        model = LogisticRegression()
+        fit = model.fit(features, np.ones(50))
+        assert np.all(fit.coefficients == 0.0)
+        assert fit.intercept > 0
+        assert np.all(model.predict_probability(features) > 0.99)
+
+    def test_all_negative_labels_yield_negative_intercept(self):
+        features = np.random.default_rng(0).normal(size=(50, 2))
+        model = LogisticRegression()
+        fit = model.fit(features, np.zeros(50))
+        assert fit.intercept < 0
+
+    def test_perfectly_separable_data_stays_finite(self):
+        features = np.concatenate([-np.ones(30), np.ones(30)])[:, None]
+        labels = np.concatenate([np.zeros(30), np.ones(30)])
+        model = LogisticRegression(l2_penalty=1e-3)
+        fit = model.fit(features, labels)
+        assert np.all(np.isfinite(fit.coefficients))
+        assert np.isfinite(fit.intercept)
+
+    def test_collinear_columns_stay_finite(self):
+        rng = np.random.default_rng(4)
+        column = rng.normal(size=200)
+        features = np.column_stack([column, column])
+        labels = (column > 0).astype(int)
+        model = LogisticRegression()
+        fit = model.fit(features, labels)
+        assert np.all(np.isfinite(fit.coefficients))
+
+
+class TestValidation:
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.empty((0, 2)), [])
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 1)), [0, 1, 2])
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 1)), [0, 1])
+
+    def test_rejects_negative_sample_weights(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((2, 1)), [0, 1], sample_weights=[-1.0, 1.0])
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2_penalty=-0.1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_probability(np.zeros((2, 1)))
+
+    def test_wrong_feature_count_at_prediction_raises(self):
+        model = LogisticRegression()
+        model.fit(np.zeros((10, 2)), [0, 1] * 5)
+        with pytest.raises(ValueError):
+            model.decision_function(np.zeros((5, 3)))
+
+    @given(st.integers(min_value=5, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_fit_always_returns_finite_parameters(self, n):
+        rng = np.random.default_rng(n)
+        features = rng.normal(size=(n, 2))
+        labels = rng.integers(0, 2, size=n)
+        model = LogisticRegression()
+        fit = model.fit(features, labels)
+        assert np.all(np.isfinite(fit.coefficients))
+        assert np.isfinite(fit.intercept)

@@ -1,0 +1,87 @@
+"""Tests for repro.scoring.woe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scoring.woe import WoeBinning, information_value
+
+
+def informative_data(n: int = 2000, seed: int = 0):
+    """Higher factor values are more likely to be good (label 1)."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.0, 1.0, size=n)
+    labels = (rng.random(n) < values).astype(int)
+    return values, labels
+
+
+class TestWoeBinning:
+    def test_fit_produces_requested_number_of_bins(self):
+        values, labels = informative_data()
+        binning = WoeBinning(num_bins=5).fit(values, labels)
+        assert len(binning.bins) == 5
+
+    def test_woe_increases_with_an_informative_factor(self):
+        values, labels = informative_data()
+        binning = WoeBinning(num_bins=4).fit(values, labels)
+        woes = [b.woe for b in binning.bins]
+        assert woes[-1] > woes[0]
+
+    def test_transform_maps_values_to_their_bin_woe(self):
+        values, labels = informative_data()
+        binning = WoeBinning(num_bins=3).fit(values, labels)
+        transformed = binning.transform([0.01, 0.99])
+        assert transformed[0] == pytest.approx(binning.bins[0].woe)
+        assert transformed[1] == pytest.approx(binning.bins[-1].woe)
+
+    def test_out_of_range_values_use_boundary_bins(self):
+        values, labels = informative_data()
+        binning = WoeBinning(num_bins=3).fit(values, labels)
+        transformed = binning.transform([-10.0, 10.0])
+        assert transformed[0] == pytest.approx(binning.bins[0].woe)
+        assert transformed[1] == pytest.approx(binning.bins[-1].woe)
+
+    def test_bin_counts_cover_all_observations(self):
+        values, labels = informative_data(500)
+        binning = WoeBinning(num_bins=5).fit(values, labels)
+        assert sum(b.count for b in binning.bins) == 500
+
+    def test_constant_factor_degenerates_to_single_bin(self):
+        binning = WoeBinning(num_bins=4).fit(np.zeros(100), np.random.default_rng(0).integers(0, 2, 100))
+        assert len(binning.bins) == 1
+
+    def test_unfitted_binning_raises(self):
+        with pytest.raises(RuntimeError):
+            WoeBinning().bins
+
+    def test_rejects_fewer_than_two_bins(self):
+        with pytest.raises(ValueError):
+            WoeBinning(num_bins=1)
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            WoeBinning().fit([1.0, 2.0], [0, 2])
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            WoeBinning().fit([1.0, 2.0], [0])
+
+
+class TestInformationValue:
+    def test_informative_factor_has_higher_iv_than_noise(self):
+        values, labels = informative_data()
+        informative_iv = information_value(WoeBinning(num_bins=5).fit(values, labels))
+        rng = np.random.default_rng(1)
+        noise_iv = information_value(
+            WoeBinning(num_bins=5).fit(rng.random(2000), rng.integers(0, 2, 2000))
+        )
+        assert informative_iv > noise_iv
+        assert informative_iv > 0.3
+
+    def test_information_value_is_non_negative_for_noise(self):
+        rng = np.random.default_rng(2)
+        iv = information_value(
+            WoeBinning(num_bins=4).fit(rng.random(500), rng.integers(0, 2, 500))
+        )
+        assert iv >= 0.0

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        arguments = build_parser().parse_args(["fig2"])
+        assert arguments.command == "fig2"
+        assert arguments.users == 300
+        assert arguments.trials == 2
+        assert not arguments.full
+
+    def test_unknown_command_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scale_flags_are_parsed(self):
+        arguments = build_parser().parse_args(["--users", "50", "--trials", "1", "fig3"])
+        assert arguments.users == 50
+        assert arguments.trials == 1
+
+
+class TestCommands:
+    def test_fig2_prints_the_income_table(self, capsys):
+        assert main(["fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "BLACK ALONE" in output
+        assert "over 200" in output
+
+    def test_table1_prints_the_scorecard(self, capsys):
+        assert main(["--users", "150", "--trials", "1", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "4.953" in output
+
+    def test_fig3_prints_the_race_series(self, capsys):
+        assert main(["--users", "80", "--trials", "1", "fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "cross-race ADR gap" in output
+        assert "2020" in output
+
+    def test_ablation_ergodicity_runs(self, capsys):
+        assert main(["ablation-ergodicity"]) == 0
+        output = capsys.readouterr().out
+        assert "uniquely ergodic" in output
+
+    def test_steering_runs_on_a_small_configuration(self, capsys):
+        assert main(["--users", "60", "--trials", "1", "steering"]) == 0
+        output = capsys.readouterr().out
+        assert "impact steering" in output
+
+    def test_drift_runs_on_a_small_configuration(self, capsys):
+        assert main(["--users", "60", "--trials", "1", "drift"]) == 0
+        output = capsys.readouterr().out
+        assert "Recession shock" in output

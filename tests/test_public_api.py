@@ -1,0 +1,82 @@
+"""Sanity checks on the public API surface.
+
+These tests guard the package's importability and the consistency of every
+``__all__`` list: each advertised name must actually exist, and the
+top-level package must re-export the objects the README's quickstart uses.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.markov",
+    "repro.scoring",
+    "repro.credit",
+    "repro.data",
+    "repro.baselines",
+    "repro.control",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    module = importlib.import_module(package_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_entries_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__"), f"{package_name} must declare __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_entries_are_unique(package_name):
+    module = importlib.import_module(package_name)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def test_top_level_exports_cover_the_quickstart():
+    import repro
+
+    for name in [
+        "ClosedLoop",
+        "CreditPopulation",
+        "CreditScoringSystem",
+        "DefaultRateFilter",
+        "CaseStudyConfig",
+        "run_trial",
+        "run_experiment",
+        "equal_treatment_assessment",
+        "equal_impact_assessment",
+    ]:
+        assert hasattr(repro, name)
+
+
+def test_version_is_a_semver_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_public_functions_have_docstrings():
+    """Every public callable re-exported by the top-level package is documented."""
+    import repro
+
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        member = getattr(repro, name)
+        if callable(member):
+            assert member.__doc__, f"repro.{name} is missing a docstring"

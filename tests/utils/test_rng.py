@@ -1,0 +1,59 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, spawn_generator, spawn_generators
+
+
+class TestDeriveSeed:
+    def test_is_deterministic(self):
+        assert derive_seed(42, "trial", 3) == derive_seed(42, "trial", 3)
+
+    def test_different_labels_give_different_seeds(self):
+        assert derive_seed(42, "trial", 3) != derive_seed(42, "trial", 4)
+
+    def test_different_parents_give_different_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_result_is_in_range(self):
+        for label in range(50):
+            seed = derive_seed(7, label)
+            assert 0 <= seed < 2**63 - 1
+
+    def test_accepts_arbitrary_label_types(self):
+        assert isinstance(derive_seed(5, ("x", 1), 2.5, None), int)
+
+
+class TestSpawnGenerator:
+    def test_integer_seed_is_deterministic(self):
+        a = spawn_generator(123).random(5)
+        b = spawn_generator(123).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_existing_generator_is_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert spawn_generator(generator) is generator
+
+    def test_none_gives_a_generator(self):
+        assert isinstance(spawn_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_one_generator_per_label(self):
+        generators = spawn_generators(7, range(4))
+        assert len(generators) == 4
+
+    def test_generators_are_independent_streams(self):
+        first, second = spawn_generators(7, ["a", "b"])
+        assert not np.allclose(first.random(10), second.random(10))
+
+    def test_reproducible_across_calls(self):
+        first_run = [g.random() for g in spawn_generators(7, range(3))]
+        second_run = [g.random() for g in spawn_generators(7, range(3))]
+        assert first_run == second_run
