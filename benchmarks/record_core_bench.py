@@ -1,0 +1,130 @@
+"""Record the core-engine timings to ``BENCH_core.json``.
+
+Runs the 100k-user x 20-step workloads of ``test_bench_perf_engine.py`` at
+full scale and appends one timestamped entry to ``BENCH_core.json`` at the
+repository root, so the engine's performance trajectory is tracked across
+PRs.  The file's first entry is the baseline measured at the seed commit
+(record-of-dicts history, per-user IFS loop, recompute-only metrics).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_core_bench.py [--label LABEL] [--users N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_core.json"
+
+
+def _git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def measure(num_users: int) -> dict:
+    from repro.core.population import IFSPopulation
+    from repro.experiments.config import CaseStudyConfig
+    from repro.experiments.runner import run_trial
+    from repro.markov.ifs import SignalDependentIFS
+    from repro.markov.maps import AffineMap
+
+    config = CaseStudyConfig(num_users=num_users, num_trials=1, end_year=2021)
+
+    start = time.perf_counter()
+    trial = run_trial(config, trial_index=0)
+    trial_seconds = time.perf_counter() - start
+
+    history = trial.history
+    history.running_default_rates()  # warm-up
+    start = time.perf_counter()
+    for _ in range(200):
+        history.running_default_rates()
+        history.running_action_averages()
+        history.approval_rates()
+    metrics_incremental_ms = (time.perf_counter() - start) / 200 * 1e3
+    start = time.perf_counter()
+    for _ in range(3):
+        history.recompute_running_default_rates()
+        history.recompute_running_action_averages()
+        history.recompute_approval_rates()
+    metrics_recompute_ms = (time.perf_counter() - start) / 3 * 1e3
+
+    shared = SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)),
+        transition_probabilities=lambda s: [0.8, 0.2] if s > 0.5 else [0.3, 0.7],
+        output_maps=(AffineMap.scalar(1.0, 0.0), AffineMap.scalar(0.0, 1.0)),
+        output_probabilities=lambda s: [0.6, 0.4] if s > 0.5 else [0.1, 0.9],
+    )
+    initial = [np.array([0.0])] * num_users
+    decisions = (np.arange(num_users) % 2).astype(float)
+    batched = IFSPopulation(users=[shared] * num_users, initial_states=initial)
+    generator = np.random.default_rng(0)
+    batched.respond(decisions, 0, generator)  # warm-up
+    start = time.perf_counter()
+    for k in range(3):
+        batched.respond(decisions, k, generator)
+    ifs_batched_ms = (time.perf_counter() - start) / 3 * 1e3
+    fallback = IFSPopulation(
+        users=[shared] * num_users, initial_states=initial, vectorize=False
+    )  # the seed engine's per-user loop
+    start = time.perf_counter()
+    fallback.respond(decisions, 0, np.random.default_rng(0))
+    ifs_loop_ms = (time.perf_counter() - start) * 1e3
+
+    return {
+        "trial_100k_x20_s": round(trial_seconds, 4),
+        "metrics_query_incremental_ms": round(metrics_incremental_ms, 5),
+        "metrics_query_recompute_ms": round(metrics_recompute_ms, 3),
+        "metrics_speedup_x": round(metrics_recompute_ms / max(metrics_incremental_ms, 1e-9), 1),
+        "ifs_respond_batched_ms": round(ifs_batched_ms, 3),
+        "ifs_respond_per_user_loop_ms": round(ifs_loop_ms, 1),
+        "ifs_speedup_x": round(ifs_loop_ms / max(ifs_batched_ms, 1e-9), 1),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="columnar-engine", help="entry label")
+    parser.add_argument("--users", type=int, default=100_000, help="benchmark population size")
+    args = parser.parse_args()
+
+    timings = measure(args.users)
+    entry = {
+        "label": args.label,
+        "git": _git_revision(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "num_users": args.users,
+        "num_steps": 20,
+        **timings,
+    }
+    document = {"benchmark": "core-simulation-engine", "entries": []}
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    document["entries"].append(entry)
+    BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+    print(f"appended to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Benchmark P-1: the columnar simulation engine at scale.
+
+Times the three hot paths the columnar rewrite targets, at a 20k-user
+default scale (set ``REPRO_FULL_BENCH=1`` for the full 100k-user x 20-step
+workload; ``benchmarks/record_core_bench.py`` runs the full scale and
+persists the numbers to ``BENCH_core.json``):
+
+* one full closed-loop trial with the paper's retraining lender;
+* the incremental derived-metrics path versus the seed engine's
+  cumulative-sum recompute (kept as the ``recompute_*`` cross-checks) —
+  asserted to be at least 10x faster;
+* the vectorized IFS population versus the per-user fallback loop —
+  asserted to be at least 10x faster.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.population import IFSPopulation
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import run_trial
+from repro.markov.ifs import SignalDependentIFS
+from repro.markov.maps import AffineMap
+
+
+def _perf_users() -> int:
+    return 100_000 if os.environ.get("REPRO_FULL_BENCH") == "1" else 20_000
+
+
+@pytest.fixture(scope="module")
+def perf_config() -> CaseStudyConfig:
+    # end_year 2021 makes exactly 20 steps from the paper's 2002 start.
+    return CaseStudyConfig(num_users=_perf_users(), num_trials=1, end_year=2021)
+
+
+@pytest.fixture(scope="module")
+def perf_trial(perf_config):
+    return run_trial(perf_config, trial_index=0)
+
+
+def test_bench_engine_trial(benchmark, perf_config):
+    """One full 20-step trial with the paper's retraining scorecard lender."""
+    result = benchmark.pedantic(
+        run_trial, args=(perf_config,), kwargs={"trial_index": 0}, rounds=2, iterations=1
+    )
+    assert result.history.num_steps == perf_config.num_steps
+    assert result.user_default_rates.shape == (
+        perf_config.num_steps,
+        perf_config.num_users,
+    )
+
+
+def test_bench_incremental_metrics_vs_recompute(perf_trial):
+    """The incremental derived series must beat the full recompute by >=10x."""
+    history = perf_trial.history
+
+    def query_incremental() -> None:
+        history.running_default_rates()
+        history.running_action_averages()
+        history.approval_rates()
+
+    def query_recompute() -> None:
+        history.recompute_running_default_rates()
+        history.recompute_running_action_averages()
+        history.recompute_approval_rates()
+
+    query_incremental()  # warm-up
+    start = time.perf_counter()
+    for _ in range(200):
+        query_incremental()
+    incremental = (time.perf_counter() - start) / 200
+
+    start = time.perf_counter()
+    for _ in range(3):
+        query_recompute()
+    recompute = (time.perf_counter() - start) / 3
+
+    speedup = recompute / max(incremental, 1e-12)
+    print(
+        f"\nincremental {incremental * 1e6:.1f} us/query vs recompute "
+        f"{recompute * 1e3:.2f} ms/query ({speedup:,.0f}x)"
+    )
+    assert speedup >= 10.0
+    # And the fast path must stay exact.
+    assert np.array_equal(
+        history.running_default_rates(), history.recompute_running_default_rates()
+    )
+
+
+def test_bench_vectorized_ifs_population():
+    """Batched IFS stepping must beat the per-user loop by >=10x."""
+    count = _perf_users() // 4
+    shared = SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)),
+        transition_probabilities=lambda signal: [0.8, 0.2] if signal > 0.5 else [0.3, 0.7],
+        output_maps=(AffineMap.scalar(1.0, 0.0), AffineMap.scalar(0.0, 1.0)),
+        output_probabilities=lambda signal: [0.6, 0.4] if signal > 0.5 else [0.1, 0.9],
+    )
+    initial = [np.array([0.0])] * count
+    decisions = (np.arange(count) % 2).astype(float)
+
+    batched = IFSPopulation(users=[shared] * count, initial_states=initial)
+    assert batched._state_matrix is not None
+    generator = np.random.default_rng(0)
+    batched.respond(decisions, 0, generator)  # warm-up
+    start = time.perf_counter()
+    for k in range(5):
+        batched.respond(decisions, k, generator)
+    batched_time = (time.perf_counter() - start) / 5
+
+    fallback = IFSPopulation(
+        users=[shared] * count, initial_states=initial, vectorize=False
+    )  # the seed engine's per-user loop
+    generator = np.random.default_rng(0)
+    start = time.perf_counter()
+    fallback.respond(decisions, 0, generator)
+    fallback_time = time.perf_counter() - start
+
+    speedup = fallback_time / max(batched_time, 1e-12)
+    print(
+        f"\nbatched {batched_time * 1e3:.2f} ms/step vs per-user loop "
+        f"{fallback_time * 1e3:.1f} ms/step ({speedup:,.0f}x) at {count:,} users"
+    )
+    assert speedup >= 10.0

@@ -28,7 +28,7 @@ from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.utils.stats import cesaro_averages, max_pairwise_gap, tail_dispersion
+from repro.utils.stats import cesaro_averages, max_pairwise_gap
 
 __all__ = [
     "TreatmentAssessment",
@@ -197,13 +197,18 @@ def equal_impact_assessment(
     matrix = np.asarray(outcomes, dtype=float)
     if matrix.ndim != 2 or matrix.shape[0] == 0:
         raise ValueError("outcomes must be a non-empty (steps, users) matrix")
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must lie in (0, 1]")
     running = matrix if already_averaged else cesaro_averages(matrix, axis=0)
     tail_length = max(1, int(round(running.shape[0] * tail_fraction)))
     tail = running[-tail_length:, :]
     user_limits = tail.mean(axis=0)
-    dispersions = np.array(
-        [tail_dispersion(running[:, user], tail_fraction) for user in range(running.shape[1])]
-    )
+    # Column-wise standard deviation of the shared tail window: one array
+    # operation over the (tail, users) block instead of a per-user
+    # tail_dispersion() pass over the whole matrix.  Reduction order may
+    # differ from the 1-D per-user path in the last ulp; the dispersion is a
+    # tolerance-gated convergence diagnostic, not a bit-exact recorded series.
+    dispersions = np.std(tail, axis=0)
     group_limits: Dict[object, float] = {}
     if groups:
         for key, indices in groups.items():

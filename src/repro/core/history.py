@@ -1,22 +1,40 @@
-"""Recording of closed-loop simulations.
+"""Recording of closed-loop simulations (columnar engine).
 
-The orchestrator appends one :class:`StepRecord` per time step;
-:class:`SimulationHistory` stacks the per-step arrays into convenient
-``(steps, users)`` matrices and computes the derived series the fairness
-definitions and the paper's figures need (running default rates, running
-action averages, per-group aggregation).
+The trajectory store is *columnar*: decisions, actions, public features and
+observations live in preallocated ``(capacity, users)`` float arrays that
+grow geometrically, so appending a step is a handful of in-place row writes
+and ``decisions_matrix`` / ``actions_matrix`` / ``public_feature_matrix``
+are O(1) slicing views instead of per-call ``np.vstack`` over Python lists.
+
+Derived metrics are *incremental*: an internal running-statistics layer
+(cumulative offers, repayments and action sums, all ``O(users)`` state)
+fills one row of each derived series per appended step, so
+``running_default_rates``, ``running_action_averages`` and
+``approval_rates`` cost O(1) per query rather than O(steps * users).  The
+original cumulative-sum formulations are kept as ``recompute_*``
+cross-checks; the equivalence suite asserts both paths agree bit-for-bit.
+
+The record-of-dicts interface survives: the orchestrator may still append
+one :class:`StepRecord` per time step, and :attr:`SimulationHistory.records`
+is a lazy sequence view that materialises :class:`StepRecord` objects from
+the columns on demand.  One caveat: a feature/observation key that vanishes
+and later reappears keeps only its latest contiguous fragment (a
+``RuntimeWarning`` is emitted); the closed loop always records a consistent
+key set, so this only affects hand-built pathological histories.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.utils.stats import cesaro_averages
-
 __all__ = ["StepRecord", "SimulationHistory"]
+
+#: Initial row capacity of a freshly allocated history.
+_INITIAL_CAPACITY = 32
 
 
 @dataclass(frozen=True)
@@ -44,77 +62,413 @@ class StepRecord:
     observation: Mapping[str, np.ndarray | float]
 
 
-@dataclass
-class SimulationHistory:
-    """A full closed-loop trajectory.
+class _Column:
+    """One named, preallocated column of the history.
 
-    Attributes
-    ----------
-    records:
-        One :class:`StepRecord` per simulated step, in time order.
+    A column is either scalar-per-step (``width is None``, backed by a
+    ``(capacity,)`` array) or vector-per-step (backed by a
+    ``(capacity, width)`` array).  ``start``/``count`` track the contiguous
+    run of steps the column covers, so a key that only appears in some
+    records is reported exactly like the old record-of-dicts store: matrix
+    queries require full coverage, per-record access only shows the key
+    where it was present.
     """
 
-    records: List[StepRecord] = field(default_factory=list)
+    __slots__ = ("data", "width", "start", "count")
+
+    def __init__(self, value: np.ndarray | float, capacity: int, start: int) -> None:
+        array = np.asarray(value, dtype=float)
+        if array.ndim == 0:
+            self.width: int | None = None
+            self.data = np.empty(capacity, dtype=float)
+        else:
+            self.width = int(array.shape[-1]) if array.ndim == 1 else int(array.size)
+            self.data = np.empty((capacity, self.width), dtype=float)
+        self.start = start
+        self.count = 0
+
+    def write(self, step: int, value: np.ndarray | float) -> None:
+        """Write ``value`` at row ``step``, tracking contiguity."""
+        if step != self.start + self.count:
+            # The key vanished and reappeared; keep only the latest
+            # contiguous fragment (pathological usage — the closed loop
+            # always records a consistent key set).
+            self.start = step
+            self.count = 0
+        if self.width is None:
+            self.data[step] = float(value)
+        else:
+            self.data[step, :] = np.asarray(value, dtype=float).ravel()
+        self.count += 1
+
+    def grow(self, capacity: int) -> None:
+        """Reallocate the backing array to ``capacity`` rows."""
+        self.data = _grown(self.data, capacity, self.start + self.count)
+
+    def covers(self, num_steps: int) -> bool:
+        """Return whether the column has a value for every step so far."""
+        return self.start == 0 and self.count == num_steps
+
+    def trimmed(self) -> "_Column":
+        """Return a copy whose backing array holds only the filled rows."""
+        clone = object.__new__(_Column)
+        clone.width = self.width
+        clone.data = self.data[: self.start + self.count].copy()
+        clone.start = self.start
+        clone.count = self.count
+        return clone
+
+    def present_at(self, step: int) -> bool:
+        """Return whether the column has a value at ``step``."""
+        return self.start <= step < self.start + self.count
+
+
+class _RecordsView(Sequence):
+    """Read-only sequence of :class:`StepRecord` built from the columns."""
+
+    def __init__(self, history: "SimulationHistory") -> None:
+        self._history = history
+
+    def __len__(self) -> int:
+        return self._history.num_steps
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        for index in range(len(self)):
+            yield self._history.record_at(index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._history.record_at(i) for i in range(*index.indices(len(self)))]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("record index out of range")
+        return self._history.record_at(index)
+
+
+def _readonly(view: np.ndarray) -> np.ndarray:
+    """Return ``view`` marked read-only (it aliases the internal buffers)."""
+    view.flags.writeable = False
+    return view
+
+
+def _grown(old: np.ndarray, capacity: int, filled: int) -> np.ndarray:
+    """Return a reallocated copy of ``old`` with ``capacity`` rows."""
+    fresh = np.empty((capacity,) + old.shape[1:], dtype=old.dtype)
+    fresh[:filled] = old[:filled]
+    return fresh
+
+
+class SimulationHistory:
+    """A full closed-loop trajectory in columnar, preallocated storage.
+
+    The public surface matches the original record-of-dicts store —
+    ``append``/``records``/matrix accessors — but storage is columnar
+    (see the module docstring) and the derived series are maintained
+    incrementally as steps arrive.
+
+    Matrix accessors return **read-only views** into the internal buffers;
+    callers that need to mutate the result should copy it first.
+
+    Parameters
+    ----------
+    records:
+        Optional iterable of :class:`StepRecord` to append at construction
+        (compatibility with the old dataclass signature).
+    """
+
+    def __init__(self, records: Iterable[StepRecord] | None = None) -> None:
+        self._num_steps = 0
+        self._num_users: int | None = None
+        self._capacity = 0
+        self._steps = np.empty(0, dtype=np.int64)
+        self._decisions = np.empty((0, 0), dtype=float)
+        self._actions = np.empty((0, 0), dtype=float)
+        self._features: Dict[str, _Column] = {}
+        self._observations: Dict[str, _Column] = {}
+        # Incremental running-statistics layer (O(users) state per step).
+        self._offers_cum = np.empty(0, dtype=float)
+        self._repayments_cum = np.empty(0, dtype=float)
+        self._actions_cum = np.empty(0, dtype=float)
+        self._running_rates = np.empty((0, 0), dtype=float)
+        self._running_actions = np.empty((0, 0), dtype=float)
+        self._approvals = np.empty(0, dtype=float)
+        if records is not None:
+            for record in records:
+                self.append(record)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
 
     def append(self, record: StepRecord) -> None:
         """Append one step's record."""
-        self.records.append(record)
+        self.record_step(
+            record.step,
+            record.public_features,
+            record.decisions,
+            record.actions,
+            record.observation,
+        )
+
+    def record_step(
+        self,
+        step: int,
+        public_features: Mapping[str, np.ndarray],
+        decisions: np.ndarray,
+        actions: np.ndarray,
+        observation: Mapping[str, np.ndarray | float],
+    ) -> None:
+        """Write one step directly into the columns (the fast ingest path).
+
+        This is what :meth:`repro.core.loop.ClosedLoop.run` calls: values
+        are copied straight into the preallocated arrays, so no intermediate
+        per-step dicts or record objects are allocated.
+        """
+        decisions_row = np.asarray(decisions, dtype=float).ravel()
+        actions_row = np.asarray(actions, dtype=float).ravel()
+        expected_users = (
+            self._num_users if self._num_users is not None else decisions_row.shape[0]
+        )
+        if decisions_row.shape[0] != expected_users:
+            raise ValueError(
+                "decisions must have one entry per user "
+                f"({decisions_row.shape[0]} != {expected_users})"
+            )
+        if actions_row.shape[0] != expected_users:
+            raise ValueError(
+                "actions must have one entry per user "
+                f"({actions_row.shape[0]} != {expected_users})"
+            )
+        # Convert and width-check every column value *before* mutating any
+        # storage, so a bad value leaves the history exactly as it was (a
+        # half-written step would poison the column coverage bookkeeping).
+        # Public features are always per-user-shaped series: scalars are
+        # promoted to width-1 columns so public_feature_matrix stays 2-D.
+        feature_rows = [
+            (
+                name,
+                self._prepare_value(
+                    self._features, name, np.atleast_1d(np.asarray(value, dtype=float))
+                ),
+            )
+            for name, value in public_features.items()
+        ]
+        observation_rows = [
+            (name, self._prepare_value(self._observations, name, value))
+            for name, value in observation.items()
+        ]
+        if self._num_users is None:
+            self._initialise(expected_users)
+        if self._num_steps >= self._capacity:
+            self._grow()
+        row = self._num_steps
+        self._steps[row] = int(step)
+        self._decisions[row, :] = decisions_row
+        self._actions[row, :] = actions_row
+        for name, value in feature_rows:
+            self._write_column(self._features, name, row, value)
+        for name, value in observation_rows:
+            self._write_column(self._observations, name, row, value)
+        self._update_running_stats(row)
+        self._num_steps += 1
+
+    @staticmethod
+    def _prepare_value(
+        columns: Dict[str, _Column], name: str, value: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Coerce ``value`` for ``name``'s column, validating before any write."""
+        column = columns.get(name)
+        if column is not None and column.width is not None:
+            row = np.asarray(value, dtype=float).ravel()
+            if row.size != column.width:
+                raise ValueError(
+                    f"column {name!r} expects width {column.width}, got {row.size}"
+                )
+            return row
+        if column is not None:  # scalar column
+            return float(value)
+        array = np.asarray(value, dtype=float)
+        return float(array) if array.ndim == 0 else array.ravel()
+
+    def _initialise(self, num_users: int) -> None:
+        self._num_users = int(num_users)
+        self._capacity = _INITIAL_CAPACITY
+        self._steps = np.empty(self._capacity, dtype=np.int64)
+        self._decisions = np.empty((self._capacity, self._num_users), dtype=float)
+        self._actions = np.empty((self._capacity, self._num_users), dtype=float)
+        self._offers_cum = np.zeros(self._num_users, dtype=float)
+        self._repayments_cum = np.zeros(self._num_users, dtype=float)
+        self._actions_cum = np.zeros(self._num_users, dtype=float)
+        self._running_rates = np.empty((self._capacity, self._num_users), dtype=float)
+        self._running_actions = np.empty((self._capacity, self._num_users), dtype=float)
+        self._approvals = np.empty(self._capacity, dtype=float)
+
+    def _grow(self) -> None:
+        """Double the row capacity of every preallocated array."""
+        new_capacity = max(_INITIAL_CAPACITY, self._capacity * 2)
+        for attribute in (
+            "_decisions",
+            "_actions",
+            "_running_rates",
+            "_running_actions",
+            "_approvals",
+            "_steps",
+        ):
+            setattr(
+                self,
+                attribute,
+                _grown(getattr(self, attribute), new_capacity, self._num_steps),
+            )
+        for column in self._features.values():
+            column.grow(new_capacity)
+        for column in self._observations.values():
+            column.grow(new_capacity)
+        self._capacity = new_capacity
+
+    def _write_column(
+        self,
+        columns: Dict[str, _Column],
+        name: str,
+        row: int,
+        value: np.ndarray | float,
+    ) -> None:
+        column = columns.get(name)
+        if column is None:
+            column = _Column(value, self._capacity, start=row)
+            columns[name] = column
+        elif column.count and row != column.start + column.count:
+            warnings.warn(
+                f"column {name!r} skipped steps "
+                f"{column.start + column.count}..{row - 1}; earlier values are "
+                "discarded and only the latest contiguous fragment is kept",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        column.write(row, value)
+
+    def _update_running_stats(self, row: int) -> None:
+        """Fold step ``row`` into the incremental derived series.
+
+        The updates replay, term by term, the cumulative sums of the
+        ``recompute_*`` formulations, so the incremental series are
+        bit-identical to the O(steps * users) recomputation.
+        """
+        decisions_row = self._decisions[row]
+        actions_row = self._actions[row]
+        self._offers_cum += decisions_row
+        self._repayments_cum += actions_row * decisions_row
+        self._actions_cum += actions_row
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self._running_rates[row, :] = np.where(
+                self._offers_cum > 0,
+                1.0 - self._repayments_cum / np.maximum(self._offers_cum, 1e-12),
+                0.0,
+            )
+        self._running_actions[row, :] = self._actions_cum / float(row + 1)
+        self._approvals[row] = np.mean(decisions_row)
+
+    # ------------------------------------------------------------------
+    # Record access (compatibility surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> _RecordsView:
+        """Return the steps as a lazy sequence of :class:`StepRecord`."""
+        return _RecordsView(self)
+
+    def record_at(self, index: int) -> StepRecord:
+        """Materialise the :class:`StepRecord` of step ``index``."""
+        if not 0 <= index < self._num_steps:
+            raise IndexError("record index out of range")
+        features = {
+            name: column.data[index].copy()
+            for name, column in self._features.items()
+            if column.present_at(index)
+        }
+        observation: Dict[str, np.ndarray | float] = {}
+        for name, column in self._observations.items():
+            if column.present_at(index):
+                observation[name] = (
+                    float(column.data[index])
+                    if column.width is None
+                    else column.data[index].copy()
+                )
+        return StepRecord(
+            step=int(self._steps[index]),
+            public_features=features,
+            decisions=self._decisions[index].copy(),
+            actions=self._actions[index].copy(),
+            observation=observation,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
 
     @property
     def num_steps(self) -> int:
         """Return the number of recorded steps."""
-        return len(self.records)
+        return self._num_steps
 
     @property
     def num_users(self) -> int:
-        """Return the number of users (from the first record)."""
-        if not self.records:
-            raise ValueError("the history is empty")
-        return int(np.asarray(self.records[0].decisions).shape[0])
+        """Return the number of users (fixed at the first recorded step)."""
+        self._require_non_empty()
+        assert self._num_users is not None
+        return self._num_users
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
 
     def decisions_matrix(self) -> np.ndarray:
-        """Return the decisions as a ``(steps, users)`` matrix."""
+        """Return the decisions as a read-only ``(steps, users)`` view."""
         self._require_non_empty()
-        return np.vstack([np.asarray(r.decisions, dtype=float) for r in self.records])
+        return _readonly(self._decisions[: self._num_steps])
 
     def actions_matrix(self) -> np.ndarray:
-        """Return the actions as a ``(steps, users)`` matrix."""
+        """Return the actions as a read-only ``(steps, users)`` view."""
         self._require_non_empty()
-        return np.vstack([np.asarray(r.actions, dtype=float) for r in self.records])
+        return _readonly(self._actions[: self._num_steps])
 
     def public_feature_matrix(self, name: str) -> np.ndarray:
-        """Return one public feature (e.g. income) as a ``(steps, users)`` matrix."""
+        """Return one public feature (e.g. income) as a ``(steps, users)`` view."""
         self._require_non_empty()
-        rows = []
-        for record in self.records:
-            if name not in record.public_features:
-                raise KeyError(f"public feature {name!r} was not recorded")
-            rows.append(np.asarray(record.public_features[name], dtype=float))
-        return np.vstack(rows)
+        column = self._features.get(name)
+        if column is None or not column.covers(self._num_steps):
+            raise KeyError(f"public feature {name!r} was not recorded")
+        return _readonly(column.data[: self._num_steps])
 
     def observation_series(self, name: str) -> np.ndarray:
         """Return one observation entry stacked over time.
 
-        Per-user observations produce a ``(steps, users)`` matrix, scalar
-        observations a ``(steps,)`` vector.
+        Per-user (array-valued) observations produce a ``(steps, users)``
+        matrix, scalar observations a ``(steps,)`` vector.  The distinction
+        is by the dimensionality of the recorded value — a per-user array
+        from a 1-user population stays a ``(steps, 1)`` matrix instead of
+        being silently flattened to a scalar series.
         """
         self._require_non_empty()
-        rows = []
-        for record in self.records:
-            if name not in record.observation:
-                raise KeyError(f"observation {name!r} was not recorded")
-            rows.append(np.asarray(record.observation[name], dtype=float))
-        return np.vstack(rows) if rows[0].ndim >= 1 and rows[0].size > 1 else np.asarray(
-            [float(row) for row in rows]
-        )
+        column = self._observations.get(name)
+        if column is None or not column.covers(self._num_steps):
+            raise KeyError(f"observation {name!r} was not recorded")
+        return _readonly(column.data[: self._num_steps])
+
+    # ------------------------------------------------------------------
+    # Incremental derived series (O(1) per query)
+    # ------------------------------------------------------------------
 
     def running_action_averages(self) -> np.ndarray:
         """Return the Cesàro averages of the actions, per user, over time.
 
         Entry ``[k, i]`` is ``(1 / (k + 1)) * sum_{j <= k} y_i(j)`` — the
         quantity whose limit Definition 3 (equal impact) constrains.
+        Maintained incrementally; O(1) per query.
         """
-        return cesaro_averages(self.actions_matrix(), axis=0)
+        self._require_non_empty()
+        return _readonly(self._running_actions[: self._num_steps])
 
     def running_default_rates(self) -> np.ndarray:
         """Return the cumulative average default rates ``ADR_i(k)`` over time.
@@ -122,6 +476,25 @@ class SimulationHistory:
         Defaults are "offered but not repaid"; a user with no offers so far
         has rate 0 by convention, matching
         :class:`repro.credit.default_rates.DefaultRateTracker`.
+        Maintained incrementally; O(1) per query.
+        """
+        self._require_non_empty()
+        return _readonly(self._running_rates[: self._num_steps])
+
+    def approval_rates(self) -> np.ndarray:
+        """Return the per-step fraction of approved users (O(1) per query)."""
+        self._require_non_empty()
+        return _readonly(self._approvals[: self._num_steps])
+
+    # ------------------------------------------------------------------
+    # Cross-check recomputations (the original O(steps * users) math)
+    # ------------------------------------------------------------------
+
+    def recompute_running_default_rates(self) -> np.ndarray:
+        """Recompute ``ADR_i(k)`` from scratch via cumulative sums.
+
+        Kept as a cross-check of the incremental layer; the equivalence
+        suite asserts bit-identity with :meth:`running_default_rates`.
         """
         decisions = self.decisions_matrix()
         actions = self.actions_matrix()
@@ -130,6 +503,20 @@ class SimulationHistory:
         with np.errstate(divide="ignore", invalid="ignore"):
             rates = np.where(offers > 0, 1.0 - repayments / np.maximum(offers, 1e-12), 0.0)
         return rates
+
+    def recompute_running_action_averages(self) -> np.ndarray:
+        """Recompute the Cesàro action averages from scratch (cross-check)."""
+        from repro.utils.stats import cesaro_averages
+
+        return cesaro_averages(self.actions_matrix(), axis=0)
+
+    def recompute_approval_rates(self) -> np.ndarray:
+        """Recompute the per-step approval rates from scratch (cross-check)."""
+        return self.decisions_matrix().mean(axis=1)
+
+    # ------------------------------------------------------------------
+    # Grouping
+    # ------------------------------------------------------------------
 
     def group_series(
         self, per_user_series: np.ndarray, groups: Mapping[object, np.ndarray]
@@ -144,10 +531,35 @@ class SimulationHistory:
                 result[key] = series[:, indices].mean(axis=1)
         return result
 
-    def approval_rates(self) -> np.ndarray:
-        """Return the per-step fraction of approved users."""
-        return self.decisions_matrix().mean(axis=1)
-
     def _require_non_empty(self) -> None:
-        if not self.records:
+        if self._num_steps == 0:
             raise ValueError("the history is empty")
+
+    # ------------------------------------------------------------------
+    # Pickling (the parallel runner ships histories between processes)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the filled rows, not the over-allocated capacity."""
+        state = dict(self.__dict__)
+        filled = self._num_steps
+        for attribute in (
+            "_steps",
+            "_decisions",
+            "_actions",
+            "_running_rates",
+            "_running_actions",
+            "_approvals",
+        ):
+            state[attribute] = state[attribute][:filled].copy()
+        state["_features"] = {
+            name: column.trimmed() for name, column in self._features.items()
+        }
+        state["_observations"] = {
+            name: column.trimmed() for name, column in self._observations.items()
+        }
+        state["_capacity"] = filled
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)

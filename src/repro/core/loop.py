@@ -13,7 +13,11 @@ One pass through the loop at time ``k``:
    the next step.
 
 :class:`ClosedLoop` implements exactly that ordering and records every step
-in a :class:`~repro.core.history.SimulationHistory`.
+in a :class:`~repro.core.history.SimulationHistory`.  ``run`` writes each
+step's rows straight into the history's preallocated columnar storage
+(:meth:`~repro.core.history.SimulationHistory.record_step`) — no per-step
+dict deep copies — while ``step`` keeps the original record-returning
+interface for callers that drive the loop one step at a time.
 """
 
 from __future__ import annotations
@@ -98,12 +102,40 @@ class ClosedLoop:
         record_book = history if history is not None else SimulationHistory()
         start = record_book.num_steps
         for k in range(start, start + num_steps):
-            record_book.append(self.step(k, generator))
+            public_features, decisions, actions, observation = self._advance(k, generator)
+            record_book.record_step(k, public_features, decisions, actions, observation)
         return record_book
 
     def step(self, k: int, rng: int | np.random.Generator | None = None) -> StepRecord:
         """Execute one pass through the loop at time ``k``."""
         generator = spawn_generator(rng)
+        public_features, decisions, actions, observation = self._advance(k, generator)
+        return StepRecord(
+            step=k,
+            public_features={
+                name: np.asarray(value, dtype=float).copy()
+                for name, value in public_features.items()
+            },
+            decisions=decisions.copy(),
+            actions=actions.copy(),
+            observation={
+                name: (
+                    np.asarray(value, dtype=float).copy()
+                    if np.ndim(value) > 0
+                    else float(value)
+                )
+                for name, value in observation.items()
+            },
+        )
+
+    def _advance(self, k: int, generator: np.random.Generator):
+        """Run one pass through the loop and return its raw pieces.
+
+        Returns ``(public_features, decisions, actions, observation_after)``
+        without any defensive copying — the caller either hands them to the
+        history's columnar ingest (which copies into its own buffers) or
+        wraps them in a :class:`StepRecord` with explicit copies.
+        """
         public_features = self._population.begin_step(k, generator)
         observation_before = self._filter.observation()
         decisions = np.asarray(
@@ -124,20 +156,4 @@ class ClosedLoop:
                 public_features, decisions, actions, observation_before, k
             )
         observation_after = self._filter.update(decisions, actions, k)
-        return StepRecord(
-            step=k,
-            public_features={
-                name: np.asarray(value, dtype=float).copy()
-                for name, value in public_features.items()
-            },
-            decisions=decisions.copy(),
-            actions=actions.copy(),
-            observation={
-                name: (
-                    np.asarray(value, dtype=float).copy()
-                    if np.ndim(value) > 0
-                    else float(value)
-                )
-                for name, value in observation_after.items()
-            },
-        )
+        return public_features, decisions, actions, observation_after

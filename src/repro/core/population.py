@@ -103,6 +103,11 @@ class CreditPopulation:
         self._start_year = start_year
         self._current_incomes: np.ndarray | None = None
         self._current_affordability: np.ndarray | None = None
+        # The race partition is fixed for the population's lifetime, so the
+        # per-race index arrays (the paper's N_s) are computed once here and
+        # reused by every step's income draw instead of rebuilding an
+        # object-dtype race array and boolean masks per step.
+        self._race_indices = population.indices_by_race()
 
     @property
     def num_users(self) -> int:
@@ -116,8 +121,12 @@ class CreditPopulation:
 
     @property
     def groups(self) -> Dict[Race, np.ndarray]:
-        """Return the per-race index sets ``N_s``."""
-        return self._population.indices_by_race()
+        """Return the per-race index sets ``N_s`` (precomputed once).
+
+        The arrays are copies: the cached partition also drives every step's
+        income draw, so callers may freely mutate what they get back.
+        """
+        return {race: indices.copy() for race, indices in self._race_indices.items()}
 
     @property
     def terms(self) -> MortgageTerms:
@@ -140,8 +149,8 @@ class CreditPopulation:
     ) -> PopulationPublicFeatures:
         """Redraw incomes for step ``k`` and reveal them as public features."""
         generator = spawn_generator(rng)
-        incomes = self._sampler.sample_population(
-            self.year_of_step(k), self._population.races, generator
+        incomes = self._sampler.sample_population_indexed(
+            self.year_of_step(k), self._race_indices, self.num_users, generator
         )
         self._current_incomes = incomes
         self._current_affordability = affordability_state(incomes, self._terms)
@@ -167,27 +176,56 @@ class IFSPopulation:
     state-transition maps and output maps whose selection probabilities
     depend on the broadcast signal (here, the user's decision entry).
 
+    When every entry of ``users`` is the *same* :class:`SignalDependentIFS`
+    object (e.g. ``users=[shared_ifs] * 100_000``, the natural construction
+    for large homogeneous populations) ``respond`` advances all users in a
+    single vectorized :meth:`~repro.markov.ifs.SignalDependentIFS.step_batch`
+    call — batched uniform draws, per-unique-signal probability evaluation,
+    and grouped batched map application — which is bit-identical to the
+    per-user loop on the same generator.  Heterogeneous user lists fall
+    back to the per-user loop.
+
     Attributes
     ----------
     users:
         One :class:`~repro.markov.ifs.SignalDependentIFS` per user.
     initial_states:
         Initial private state of each user.
+    vectorize:
+        Allow the batched path when the population is homogeneous.  Set to
+        ``False`` to force the per-user reference loop (used by the
+        equivalence tests and benchmarks).
     """
 
     users: Sequence[SignalDependentIFS]
     initial_states: Sequence[np.ndarray]
-    _states: list = field(init=False, repr=False)
+    vectorize: bool = True
+    # Exactly one of the two state stores is active: a (users, dim) matrix on
+    # the batched path, a list of per-user vectors on the fallback path.
+    _states: list | None = field(init=False, repr=False)
+    _state_matrix: np.ndarray | None = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.users) == 0:
             raise ValueError("the population must contain at least one user")
         if len(self.users) != len(self.initial_states):
             raise ValueError("initial_states must have one entry per user")
-        self._states = [
+        states = [
             np.atleast_1d(np.asarray(state, dtype=float)).copy()
             for state in self.initial_states
         ]
+        shared = self.users[0]
+        homogeneous = (
+            self.vectorize
+            and all(user is shared for user in self.users)
+            and all(state.shape == states[0].shape for state in states)
+        )
+        if homogeneous:
+            self._state_matrix = np.stack(states)
+            self._states = None
+        else:
+            self._state_matrix = None
+            self._states = states
 
     @property
     def num_users(self) -> int:
@@ -197,6 +235,8 @@ class IFSPopulation:
     @property
     def states(self) -> list:
         """Return a copy of the users' current private states."""
+        if self._state_matrix is not None:
+            return [row.copy() for row in self._state_matrix]
         return [state.copy() for state in self._states]
 
     def begin_step(
@@ -220,6 +260,12 @@ class IFSPopulation:
             else np.asarray([decisions], dtype=float),
             (self.num_users,),
         )
+        if self._state_matrix is not None:
+            next_states, actions = self.users[0].step_batch(
+                self._state_matrix, signal_array, generator
+            )
+            self._state_matrix = next_states
+            return actions
         actions = np.empty(self.num_users, dtype=float)
         for index, user in enumerate(self.users):
             next_state, action = user.step(

@@ -9,7 +9,7 @@ recorded in :data:`~repro.data.census.INCOME_BRACKETS`).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -65,15 +65,41 @@ class IncomeSampler:
 
         ``races`` is the per-user race assignment of a population; the result
         is an array of the same length with that user's income for ``year``.
+        Callers that draw repeatedly for a fixed population should compute
+        the index arrays once (e.g. via
+        :meth:`repro.data.synthetic.SyntheticPopulation.indices_by_race`)
+        and use :meth:`sample_population_indexed` instead.
+        """
+        races_array = np.asarray(races, dtype=object)
+        race_indices = {
+            race: np.flatnonzero(races_array == race) for race in self._table.races
+        }
+        return self.sample_population_indexed(
+            year, race_indices, races_array.size, rng
+        )
+
+    def sample_population_indexed(
+        self,
+        year: int,
+        race_indices: Mapping[Race, np.ndarray],
+        num_users: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Sample one income per user from precomputed per-race index arrays.
+
+        ``race_indices`` maps each race to the (sorted) user indices of that
+        group — the partition is fixed for a population's lifetime, so
+        computing it once and passing it here avoids rebuilding object-dtype
+        race arrays and boolean masks on every step.  The draws consume the
+        generator exactly as :meth:`sample_population` does (race groups in
+        table order), so both paths produce bit-identical incomes.
         """
         generator = spawn_generator(rng)
-        races_array = np.asarray(races, dtype=object)
-        incomes = np.empty(races_array.size, dtype=float)
+        incomes = np.empty(num_users, dtype=float)
         for race in self._table.races:
-            mask = races_array == race
-            count = int(mask.sum())
-            if count:
-                incomes[mask] = self.sample(year, race, count, generator)
+            indices = race_indices.get(race)
+            if indices is not None and indices.size:
+                incomes[indices] = self.sample(year, race, int(indices.size), generator)
         return incomes
 
     def expected_income(self, year: int, race: Race) -> float:

@@ -47,6 +47,13 @@ class CaseStudyConfig:
         Income-code threshold in $K (paper: $15K).
     seed:
         Master seed; trial ``t`` derives its own stream from it.
+    parallel:
+        Run the experiment's trials concurrently.  Each trial draws from its
+        own :func:`~repro.utils.rng.derive_seed` stream, so the results are
+        bit-identical to the serial path regardless of scheduling.
+    max_workers:
+        Worker cap for the parallel runner (``None`` lets
+        :mod:`concurrent.futures` pick from the CPU count).
     """
 
     num_users: int = 1000
@@ -62,6 +69,8 @@ class CaseStudyConfig:
     warm_up_rounds: int = 2
     income_threshold: float = 15.0
     seed: int = 20240101
+    parallel: bool = False
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.num_users, "num_users")
@@ -70,6 +79,8 @@ class CaseStudyConfig:
             raise ValueError("end_year must not precede start_year")
         if self.warm_up_rounds < 0:
             raise ValueError("warm_up_rounds must be non-negative")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive when given")
 
     @property
     def num_steps(self) -> int:

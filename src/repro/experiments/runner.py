@@ -5,10 +5,24 @@ closed loop over the whole calendar window; the experiment repeats the trial
 several times and aggregates the race-wise average-default-rate series into
 mean and standard-deviation bands — exactly the quantities plotted in the
 paper's Figures 3-5.
+
+Trials are embarrassingly parallel: trial ``t`` seeds its own generator via
+``derive_seed(config.seed, "trial", t)``, so no random state is shared and
+running trials concurrently (``parallel=True`` on the config or the
+``run_experiment`` call) yields bit-identical results to the serial loop.
+The runner uses a process pool (the trial body is pure numpy-crunching
+Python, which threads cannot overlap under the GIL) and falls back to the
+plain serial loop when the inputs cannot be pickled (e.g. a lambda policy
+factory) or the pool breaks at run time — threads would add concurrency
+hazards without adding speed, so serial is the only fallback.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -193,16 +207,72 @@ def run_trial(
     )
 
 
+def _run_trial_task(
+    payload: Tuple[
+        CaseStudyConfig,
+        int,
+        PolicyFactory | None,
+        MortgageTerms | None,
+        IncomeTable | None,
+    ]
+) -> TrialResult:
+    """Executor entry point: run one trial from a pickled argument tuple."""
+    config, trial_index, policy_factory, terms, income_table = payload
+    return run_trial(
+        config,
+        trial_index=trial_index,
+        policy_factory=policy_factory,
+        terms=terms,
+        income_table=income_table,
+    )
+
+
+def _is_picklable(value: object) -> bool:
+    try:
+        pickle.dumps(value)
+        return True
+    except Exception:
+        return False
+
+
 def run_experiment(
     config: CaseStudyConfig,
     policy_factory: PolicyFactory | None = None,
     terms: MortgageTerms | None = None,
     income_table: IncomeTable | None = None,
+    parallel: bool | None = None,
+    max_workers: int | None = None,
 ) -> ExperimentResult:
-    """Run all trials of the case study and return the aggregate result."""
-    trials: List[TrialResult] = []
-    for trial_index in range(config.num_trials):
-        trials.append(
+    """Run all trials of the case study and return the aggregate result.
+
+    Parameters
+    ----------
+    config:
+        The case-study configuration.
+    policy_factory, terms, income_table:
+        Per-trial overrides, as in :func:`run_trial`.
+    parallel:
+        Run trials concurrently; ``None`` defers to ``config.parallel``.
+        Results are bit-identical to the serial path because every trial
+        owns an independent derived seed stream.  A non-picklable
+        ``policy_factory`` (or a broken worker pool) falls back to the
+        serial loop.
+    max_workers:
+        Worker cap for the parallel path; ``None`` defers to
+        ``config.max_workers`` (and from there to the CPU count).
+    """
+    use_parallel = config.parallel if parallel is None else bool(parallel)
+    workers = config.max_workers if max_workers is None else max_workers
+    if workers is not None and workers <= 0:
+        raise ValueError("max_workers must be positive when given")
+    worker_count = min(config.num_trials, workers or os.cpu_count() or 1)
+    trials: List[TrialResult] | None = None
+    if use_parallel and config.num_trials > 1 and worker_count > 1:
+        trials = _try_run_trials_in_processes(
+            config, policy_factory, terms, income_table, worker_count
+        )
+    if trials is None:
+        trials = [
             run_trial(
                 config,
                 trial_index=trial_index,
@@ -210,5 +280,34 @@ def run_experiment(
                 terms=terms,
                 income_table=income_table,
             )
-        )
+            for trial_index in range(config.num_trials)
+        ]
     return ExperimentResult(config=config, trials=tuple(trials))
+
+
+def _try_run_trials_in_processes(
+    config: CaseStudyConfig,
+    policy_factory: PolicyFactory | None,
+    terms: MortgageTerms | None,
+    income_table: IncomeTable | None,
+    workers: int,
+) -> List[TrialResult] | None:
+    """Run the trials on a process pool, or return ``None`` for serial fallback.
+
+    The trial body holds the GIL, so processes are the only executor worth
+    having; if the inputs fail the cheap pickle probe, or the pool breaks at
+    run time (e.g. a factory that pickles by reference but cannot be
+    resolved in the worker under the spawn start method), the caller runs
+    the plain serial loop instead — bit-identical either way.
+    """
+    payloads = [
+        (config, trial_index, policy_factory, terms, income_table)
+        for trial_index in range(config.num_trials)
+    ]
+    if not _is_picklable(payloads[0]):
+        return None
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(_run_trial_task, payloads))
+    except (pickle.PicklingError, BrokenProcessPool):
+        return None

@@ -28,6 +28,32 @@ from repro.utils.validation import require_probability_vector
 __all__ = ["IteratedFunctionSystem", "SignalDependentIFS"]
 
 
+def _choice_cdf(probabilities: np.ndarray) -> np.ndarray:
+    """Return the cumulative distribution ``Generator.choice`` inverts.
+
+    Selecting ``cdf.searchsorted(u, side="right")`` with one uniform draw
+    per selection reproduces ``generator.choice(len(p), p=p)`` bit for bit,
+    which keeps the batched IFS path on the same random stream as the
+    per-user loop.
+    """
+    cdf = probabilities.cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+def _apply_map_batch(state_map: StateMap, batch: np.ndarray) -> np.ndarray:
+    """Apply ``state_map`` to each row of ``batch``, vectorized when possible."""
+    apply_batch = getattr(state_map, "apply_batch", None)
+    if apply_batch is not None:
+        return np.asarray(apply_batch(batch), dtype=float)
+    return np.stack(
+        [
+            np.atleast_1d(np.asarray(state_map(batch[index]), dtype=float))
+            for index in range(batch.shape[0])
+        ]
+    )
+
+
 class IteratedFunctionSystem:
     """A finite family of maps with (place-dependent) selection probabilities.
 
@@ -221,6 +247,63 @@ class SignalDependentIFS:
             np.asarray(self.transition_maps[transition_index](vector), dtype=float)
         )
         return next_state, action
+
+    def step_batch(
+        self,
+        states: np.ndarray,
+        signals: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance a whole batch of i.i.d. copies of this user in one step.
+
+        ``states`` is a ``(batch, state_dim)`` stack of private states and
+        ``signals`` the per-row broadcast signal.  Returns
+        ``(next_states, actions)`` with ``next_states`` of the same shape
+        and ``actions`` a ``(batch,)`` vector (the first component of each
+        output map's image, matching the scalar-action convention of
+        :class:`~repro.core.population.IFSPopulation`).
+
+        The batch is bit-identical to calling :meth:`step` once per row
+        with the same generator: the two uniforms per row are consumed in
+        the same interleaved order, map selection replicates
+        ``Generator.choice``'s cumulative-probability inversion, and
+        affine maps apply via a batched matmul whose rows equal the
+        per-vector product.
+        """
+        generator = spawn_generator(rng)
+        batch = np.atleast_2d(np.asarray(states, dtype=float))
+        count = batch.shape[0]
+        signal_array = np.broadcast_to(
+            np.asarray(signals, dtype=float).ravel()
+            if np.ndim(signals) > 0
+            else np.asarray([signals], dtype=float),
+            (count,),
+        )
+        uniforms = generator.random((count, 2))
+        output_indices = np.empty(count, dtype=np.intp)
+        transition_indices = np.empty(count, dtype=np.intp)
+        for value in np.unique(signal_array):
+            # np.unique collapses NaNs to one entry, but NaN != NaN would
+            # leave those rows unassigned under an equality mask.
+            mask = np.isnan(signal_array) if np.isnan(value) else signal_array == value
+            signal = float(value)
+            output_cdf = _choice_cdf(self._output_vector(signal))
+            transition_cdf = _choice_cdf(self._transition_vector(signal))
+            output_indices[mask] = output_cdf.searchsorted(
+                uniforms[mask, 0], side="right"
+            )
+            transition_indices[mask] = transition_cdf.searchsorted(
+                uniforms[mask, 1], side="right"
+            )
+        actions = np.empty(count, dtype=float)
+        for index in np.unique(output_indices):
+            mask = output_indices == index
+            actions[mask] = _apply_map_batch(self.output_maps[index], batch[mask])[:, 0]
+        next_states = np.empty_like(batch)
+        for index in np.unique(transition_indices):
+            mask = transition_indices == index
+            next_states[mask] = _apply_map_batch(self.transition_maps[index], batch[mask])
+        return next_states, actions
 
     def trajectory(
         self,

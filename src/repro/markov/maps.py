@@ -59,6 +59,16 @@ class AffineMap:
         vector = np.atleast_1d(np.asarray(state, dtype=float))
         return self.matrix @ vector + self.offset
 
+    def apply_batch(self, states: np.ndarray) -> np.ndarray:
+        """Apply the map to a ``(batch, state_dim)`` stack of states.
+
+        The batched matmul form keeps every row bit-identical to the
+        per-vector ``__call__`` (each slice is the same matrix-vector
+        product), which the vectorized IFS population relies on.
+        """
+        batch = np.atleast_2d(np.asarray(states, dtype=float))
+        return (self.matrix[None, :, :] @ batch[:, :, None])[:, :, 0] + self.offset
+
     def lipschitz_constant(self) -> float:
         """Return the spectral norm of ``A`` (the map's Lipschitz constant)."""
         return float(np.linalg.norm(self.matrix, ord=2))
@@ -89,6 +99,15 @@ class FunctionMap:
         return np.atleast_1d(
             np.asarray(self.function(np.atleast_1d(np.asarray(state, dtype=float))), dtype=float)
         )
+
+    def apply_batch(self, states: np.ndarray) -> np.ndarray:
+        """Apply the wrapped callable to each row of a batch of states.
+
+        Arbitrary callables cannot be assumed to broadcast, so this simply
+        loops rows; affine maps override the hot path with true array ops.
+        """
+        batch = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.stack([self(batch[index]) for index in range(batch.shape[0])])
 
     def lipschitz_constant(self) -> float | None:
         """Return the declared Lipschitz bound, or ``None`` when unknown."""

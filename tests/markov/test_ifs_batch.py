@@ -1,0 +1,187 @@
+"""Batched IFS stepping vs. the per-user reference path.
+
+``SignalDependentIFS.step_batch`` must be bit-identical to calling ``step``
+once per row with the same generator: identical uniform-draw order,
+identical ``Generator.choice`` inversion, identical map images.  The same
+holds one level up for ``IFSPopulation.respond``'s vectorized path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import IFSPopulation
+from repro.markov.ifs import SignalDependentIFS
+from repro.markov.maps import AffineMap, FunctionMap
+
+
+def affine_user() -> SignalDependentIFS:
+    return SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)),
+        transition_probabilities=lambda signal: [0.8, 0.2] if signal > 0.5 else [0.3, 0.7],
+        output_maps=(AffineMap.scalar(1.0, 0.0), AffineMap.scalar(0.0, 1.0)),
+        output_probabilities=lambda signal: [0.6, 0.4] if signal > 0.5 else [0.1, 0.9],
+    )
+
+
+def function_map_user() -> SignalDependentIFS:
+    return SignalDependentIFS(
+        transition_maps=(
+            FunctionMap(lambda x: 0.5 * x, name="shrink"),
+            FunctionMap(lambda x: 0.5 * x + 0.5, name="shift"),
+        ),
+        transition_probabilities=lambda signal: [0.5, 0.5],
+        output_maps=(FunctionMap(lambda x: x, name="echo"),),
+        output_probabilities=lambda signal: [1.0],
+    )
+
+
+def planar_user() -> SignalDependentIFS:
+    rotate = AffineMap(
+        matrix=np.array([[0.4, -0.3], [0.3, 0.4]]), offset=np.array([0.1, 0.0])
+    )
+    contract = AffineMap(
+        matrix=np.array([[0.5, 0.0], [0.0, 0.25]]), offset=np.array([0.0, 0.2])
+    )
+    return SignalDependentIFS(
+        transition_maps=(rotate, contract),
+        transition_probabilities=lambda signal: [0.7, 0.3] if signal > 0 else [0.2, 0.8],
+        output_maps=(rotate, contract),
+        output_probabilities=lambda signal: [0.5, 0.5],
+    )
+
+
+def serial_reference(user, states, signals, generator):
+    """Advance each row with the scalar ``step`` path (the seed semantics)."""
+    next_states = np.empty_like(states)
+    actions = np.empty(states.shape[0], dtype=float)
+    for index in range(states.shape[0]):
+        state, action = user.step(states[index], float(signals[index]), generator)
+        next_states[index] = state
+        actions[index] = float(np.atleast_1d(action)[0])
+    return next_states, actions
+
+
+class TestStepBatch:
+    @pytest.mark.parametrize(
+        "factory,dim", [(affine_user, 1), (function_map_user, 1), (planar_user, 2)]
+    )
+    def test_bit_identical_to_serial_steps(self, factory, dim):
+        user = factory()
+        count = 64
+        rng = np.random.default_rng(1234)
+        states = rng.normal(size=(count, dim))
+        signals = (np.arange(count) % 2).astype(float)
+        gen_batch = np.random.default_rng(99)
+        gen_serial = np.random.default_rng(99)
+        batch_states, batch_actions = user.step_batch(states, signals, gen_batch)
+        serial_states, serial_actions = serial_reference(
+            user, states, signals, gen_serial
+        )
+        assert np.array_equal(batch_states, serial_states)
+        assert np.array_equal(batch_actions, serial_actions)
+        # Both paths consumed the same amount of the stream.
+        assert gen_batch.random() == gen_serial.random()
+
+    def test_nan_signals_follow_the_per_user_path(self):
+        """NaN decisions must select maps exactly like the scalar loop does."""
+        user = affine_user()
+        count = 12
+        states = np.linspace(0.0, 1.0, count)[:, None].copy()
+        signals = np.where(np.arange(count) % 3 == 0, np.nan, 1.0)
+        gen_batch = np.random.default_rng(5)
+        gen_serial = np.random.default_rng(5)
+        batch_states, batch_actions = user.step_batch(states, signals, gen_batch)
+        serial_states, serial_actions = serial_reference(
+            user, states, signals, gen_serial
+        )
+        assert np.array_equal(batch_states, serial_states)
+        assert np.array_equal(batch_actions, serial_actions)
+
+    def test_scalar_signal_broadcasts(self):
+        user = affine_user()
+        states = np.zeros((5, 1))
+        next_states, actions = user.step_batch(states, 1.0, np.random.default_rng(0))
+        assert next_states.shape == (5, 1)
+        assert actions.shape == (5,)
+
+    def test_multi_step_orbit_stays_identical(self):
+        user = affine_user()
+        count = 16
+        states_batch = np.linspace(0.0, 1.0, count)[:, None].copy()
+        states_serial = states_batch.copy()
+        gen_batch = np.random.default_rng(7)
+        gen_serial = np.random.default_rng(7)
+        signals = np.ones(count)
+        for _ in range(25):
+            states_batch, actions_batch = user.step_batch(
+                states_batch, signals, gen_batch
+            )
+            states_serial, actions_serial = serial_reference(
+                user, states_serial, signals, gen_serial
+            )
+            assert np.array_equal(states_batch, states_serial)
+            assert np.array_equal(actions_batch, actions_serial)
+
+
+class TestApplyBatch:
+    def test_affine_apply_batch_matches_per_row_call(self):
+        rng = np.random.default_rng(3)
+        for dim in (1, 2, 4):
+            affine = AffineMap(
+                matrix=rng.normal(size=(dim, dim)), offset=rng.normal(size=dim)
+            )
+            batch = rng.normal(size=(20, dim))
+            expected = np.stack([affine(batch[i]) for i in range(batch.shape[0])])
+            assert np.array_equal(affine.apply_batch(batch), expected)
+
+    def test_function_map_apply_batch_matches_per_row_call(self):
+        mapper = FunctionMap(lambda x: np.sin(x) + 1.0, name="wave")
+        batch = np.linspace(-2.0, 2.0, 12)[:, None]
+        expected = np.stack([mapper(batch[i]) for i in range(batch.shape[0])])
+        assert np.array_equal(mapper.apply_batch(batch), expected)
+
+
+class TestPopulationBatchPath:
+    def test_shared_user_population_uses_batch_and_matches_loop(self):
+        count = 40
+        shared = affine_user()
+        initial = [np.array([0.02 * i]) for i in range(count)]
+        batched = IFSPopulation(users=[shared] * count, initial_states=initial)
+        assert batched._state_matrix is not None  # vectorized path engaged
+
+        looped = IFSPopulation(
+            users=[shared] * count, initial_states=initial, vectorize=False
+        )
+        assert looped._state_matrix is None  # per-user reference loop
+
+        gen_batch = np.random.default_rng(11)
+        gen_loop = np.random.default_rng(11)
+        decisions = (np.arange(count) % 3 == 0).astype(float)
+        for k in range(12):
+            actions_batch = batched.respond(decisions, k, gen_batch)
+            actions_loop = looped.respond(decisions, k, gen_loop)
+            assert np.array_equal(actions_batch, actions_loop)
+        assert np.array_equal(np.stack(batched.states), np.stack(looped.states))
+
+    def test_heterogeneous_population_falls_back(self):
+        population = IFSPopulation(
+            users=[affine_user(), affine_user()],
+            initial_states=[np.array([0.0]), np.array([1.0])],
+        )
+        assert population._state_matrix is None
+        actions = population.respond(
+            np.array([1.0, 0.0]), 0, np.random.default_rng(2)
+        )
+        assert actions.shape == (2,)
+
+    def test_states_are_copies_on_batch_path(self):
+        shared = affine_user()
+        population = IFSPopulation(
+            users=[shared, shared],
+            initial_states=[np.array([0.3]), np.array([0.4])],
+        )
+        states = population.states
+        states[0][0] = 99.0
+        assert population.states[0][0] == pytest.approx(0.3)
