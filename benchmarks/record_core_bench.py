@@ -6,9 +6,16 @@ repository root, so the engine's performance trajectory is tracked across
 PRs.  The file's first entry is the baseline measured at the seed commit
 (record-of-dicts history, per-user IFS loop, recompute-only metrics).
 
+The entry also records the history-mode memory ceilings at million-user
+scale (see ``mem_probe``): the peak RSS of a no-recorder trial, of a
+full-history trial and of a streaming (``history_mode="aggregate"``)
+trial, plus the derived recorder overheads and their ratio — the
+regression target of ``test_bench_streaming_memory_ceiling``.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_core_bench.py [--label LABEL] [--users N]
+    PYTHONPATH=src python benchmarks/record_core_bench.py \
+        [--label LABEL] [--users N] [--memory-users N | --skip-memory]
 """
 
 from __future__ import annotations
@@ -106,9 +113,28 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="columnar-engine", help="entry label")
     parser.add_argument("--users", type=int, default=100_000, help="benchmark population size")
+    parser.add_argument(
+        "--memory-users",
+        type=int,
+        default=1_000_000,
+        help="population size of the history-mode memory probes",
+    )
+    parser.add_argument(
+        "--skip-memory",
+        action="store_true",
+        help="skip the (slow) subprocess memory probes",
+    )
     args = parser.parse_args()
 
     timings = measure(args.users)
+    memory: dict = {}
+    if not args.skip_memory:
+        import mem_probe
+
+        memory = {
+            "memory_num_users": args.memory_users,
+            **mem_probe.measure_history_memory(args.memory_users),
+        }
     entry = {
         "label": args.label,
         "git": _git_revision(),
@@ -116,6 +142,7 @@ def main() -> None:
         "num_users": args.users,
         "num_steps": 20,
         **timings,
+        **memory,
     }
     document = {"benchmark": "core-simulation-engine", "entries": []}
     if BENCH_PATH.exists():

@@ -10,12 +10,20 @@ persists the numbers to ``BENCH_core.json``):
   cumulative-sum recompute (kept as the ``recompute_*`` cross-checks) —
   asserted to be at least 10x faster;
 * the vectorized IFS population versus the per-user fallback loop —
-  asserted to be at least 10x faster.
+  asserted to be at least 10x faster;
+* the memory-ceiling regression of ``history_mode="aggregate"``: the
+  streaming recorder's peak-RSS overhead over the no-recording simulation
+  floor must stay inside a fixed budget and be at least 10x smaller than
+  the full-history recorder's overhead (each mode measured in its own
+  subprocess, at 150k users by default and the million-user workload under
+  ``REPRO_FULL_BENCH=1``; ``benchmarks/record_core_bench.py`` persists the
+  full-scale numbers to ``BENCH_core.json``).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 import numpy as np
@@ -127,3 +135,56 @@ def test_bench_vectorized_ifs_population():
         f"{fallback_time * 1e3:.1f} ms/step ({speedup:,.0f}x) at {count:,} users"
     )
     assert speedup >= 10.0
+
+
+def _memory_bench_users() -> int:
+    return 1_000_000 if os.environ.get("REPRO_FULL_BENCH") == "1" else 150_000
+
+
+def _streaming_budgets(num_users: int) -> tuple[float, float]:
+    """Return (recorder-overhead budget, absolute peak budget) in MiB.
+
+    Calibrated with ~2x headroom over measured values (aggregate recorder
+    overhead ~45 MiB and peak ~400 MiB at 1M users; proportionally less at
+    the default 150k scale, where the Python/numpy baseline dominates).
+    """
+    if num_users >= 1_000_000:
+        return 128.0, 640.0
+    return 48.0, 288.0
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="relies on Linux ru_maxrss units")
+def test_bench_streaming_memory_ceiling():
+    """Streaming recording must be bounded and >=10x leaner than full history.
+
+    Three subprocess probes (see ``mem_probe``): the no-recorder simulation
+    floor, a full-history trial and an aggregate-mode trial.  The recorder
+    overhead (peak minus floor) is the quantity the streaming subsystem
+    bounds: full history materialises O(steps * users) columns while the
+    aggregator keeps O(users) running state, so the gap must be at least
+    10x and the streaming overhead must stay inside a fixed budget.
+    """
+    import mem_probe
+
+    num_users = _memory_bench_users()
+    measured = mem_probe.measure_history_memory(num_users)
+    overhead_budget, peak_budget = _streaming_budgets(num_users)
+    print(
+        f"\n{num_users:,} users x 20 steps: simulation floor "
+        f"{measured['floor_peak_rss_mb']:.0f} MiB; recorder overhead full "
+        f"{measured['full_history_overhead_mb']:.0f} MiB vs streaming "
+        f"{measured['aggregate_history_overhead_mb']:.0f} MiB "
+        f"({measured['memory_ratio_x']:.0f}x)"
+    )
+    assert measured["aggregate_history_overhead_mb"] <= overhead_budget, (
+        "streaming recorder overhead exceeded its budget: "
+        f"{measured['aggregate_history_overhead_mb']} MiB > {overhead_budget} MiB"
+    )
+    assert measured["aggregate_peak_rss_mb"] <= peak_budget, (
+        "streaming-mode trial exceeded its absolute peak-RSS budget: "
+        f"{measured['aggregate_peak_rss_mb']} MiB > {peak_budget} MiB"
+    )
+    assert measured["memory_ratio_x"] >= 10.0, (
+        "full-history recorder should cost >=10x the streaming recorder, got "
+        f"{measured['memory_ratio_x']}x"
+    )

@@ -6,6 +6,7 @@ Installed as the ``repro`` module's ``__main__``-style entry point::
     python -m repro.cli table1
     python -m repro.cli ablation-baselines --users 250 --trials 2
     python -m repro.cli all --full
+    python -m repro.cli fig3 --users 1000000 --trials 2 --history-mode aggregate
 
 Each sub-command prints the plain-text rendering of the corresponding
 artefact of the paper (Table I, Figures 2-5) or of the ablations and
@@ -34,13 +35,19 @@ from repro.experiments import (
 __all__ = ["build_parser", "main"]
 
 
+#: Sub-commands whose group-level output supports the memory-bounded
+#: ``--history-mode aggregate`` path; everything else needs per-user rows.
+_AGGREGATE_CAPABLE = ("fig3", "fig4")
+
+
 def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
     if arguments.full:
-        return CaseStudyConfig(seed=arguments.seed)
+        return CaseStudyConfig(seed=arguments.seed, history_mode=arguments.history_mode)
     return CaseStudyConfig(
         num_users=arguments.users,
         num_trials=arguments.trials,
         seed=arguments.seed,
+        history_mode=arguments.history_mode,
     )
 
 
@@ -55,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=20240101, help="master random seed")
     parser.add_argument(
         "--full", action="store_true", help="use the paper-scale configuration (1000 users, 5 trials)"
+    )
+    parser.add_argument(
+        "--history-mode",
+        choices=["full", "aggregate"],
+        default="full",
+        help=(
+            "trajectory recording mode: 'full' retains per-user history, "
+            "'aggregate' streams group-level series in bounded memory "
+            "(million-user runs; fig3/fig4 only, bit-identical group series)"
+        ),
     )
     parser.add_argument(
         "command",
@@ -93,6 +110,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse arguments, run the requested artefact, print it."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    if arguments.history_mode == "aggregate" and arguments.command not in _AGGREGATE_CAPABLE:
+        parser.error(
+            "--history-mode aggregate only supports the group-series figures "
+            f"({', '.join(_AGGREGATE_CAPABLE)}); {arguments.command!r} needs per-user history"
+        )
     config = _config_from_arguments(arguments)
 
     if arguments.command == "table1":

@@ -40,7 +40,12 @@ from repro.core.filters import (
     LoopFilter,
 )
 from repro.core.loop import ClosedLoop
-from repro.core.history import SimulationHistory, StepRecord
+from repro.core.history import (
+    FullHistoryRequiredError,
+    SimulationHistory,
+    StepRecord,
+)
+from repro.core.streaming import AggregateHistory, StreamingAggregator
 from repro.core.fairness import (
     ImpactAssessment,
     TreatmentAssessment,
@@ -58,6 +63,7 @@ from repro.core.metrics import (
     default_rate_series,
     demographic_parity_gap,
     equal_opportunity_gap,
+    group_approval_series,
     group_average_series,
 )
 
@@ -79,6 +85,9 @@ __all__ = [
     "ClosedLoop",
     "SimulationHistory",
     "StepRecord",
+    "AggregateHistory",
+    "StreamingAggregator",
+    "FullHistoryRequiredError",
     "TreatmentAssessment",
     "ImpactAssessment",
     "equal_treatment_assessment",
@@ -91,5 +100,6 @@ __all__ = [
     "default_rate_series",
     "demographic_parity_gap",
     "equal_opportunity_gap",
+    "group_approval_series",
     "group_average_series",
 ]

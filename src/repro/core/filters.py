@@ -55,6 +55,12 @@ class DefaultRateFilter:
 
     The observation contains ``user_default_rates`` (one entry per user) and
     the pooled ``portfolio_rate``.
+
+    The filter is *shardable*: a population split across workers can run
+    one filter per user shard and recombine with :meth:`merge` (exactly —
+    offers and repayments are integer counts), or ship raw state around
+    via :meth:`export_state`/:meth:`from_state`.  This is the mergeability
+    the ROADMAP's sharded-population runner requires.
     """
 
     def __init__(self, num_users: int, prior_rate: float = 0.0) -> None:
@@ -64,6 +70,31 @@ class DefaultRateFilter:
     def tracker(self) -> DefaultRateTracker:
         """Return the underlying default-rate tracker."""
         return self._tracker
+
+    def export_state(self) -> Dict[str, object]:
+        """Return a picklable snapshot of the filter's cumulative state."""
+        return self._tracker.export_state()
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "DefaultRateFilter":
+        """Rebuild a filter from an :meth:`export_state` snapshot."""
+        restored = cls.__new__(cls)
+        restored._tracker = DefaultRateTracker.from_state(state)
+        return restored
+
+    def merge(self, other: "DefaultRateFilter") -> "DefaultRateFilter":
+        """Merge two filters that observed disjoint user shards.
+
+        Both shards must have folded in the same number of steps with the
+        same prior rate; ``other``'s users are appended after ``self``'s.
+        The merged filter's observation is exactly that of an unsharded
+        filter over the concatenated population.
+        """
+        if not isinstance(other, DefaultRateFilter):
+            raise TypeError("can only merge with another DefaultRateFilter")
+        merged = DefaultRateFilter.__new__(DefaultRateFilter)
+        merged._tracker = self._tracker.merge(other._tracker)
+        return merged
 
     def observation(self) -> Observation:
         """Return the current per-user and pooled default rates."""

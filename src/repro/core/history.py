@@ -21,6 +21,14 @@ the columns on demand.  One caveat: a feature/observation key that vanishes
 and later reappears keeps only its latest contiguous fragment (a
 ``RuntimeWarning`` is emitted); the closed loop always records a consistent
 key set, so this only affects hand-built pathological histories.
+
+This full-history store is one of two recording modes.  At million-user
+scale the ``(steps, users)`` columns make memory the binding constraint, so
+the loop can instead record into the memory-bounded
+:class:`~repro.core.streaming.AggregateHistory`
+(``ClosedLoop.run(..., history_mode="aggregate")``), which keeps only
+group-level series.  Consumers that fundamentally need per-user rows raise
+:class:`FullHistoryRequiredError` in that mode.
 """
 
 from __future__ import annotations
@@ -31,7 +39,17 @@ from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["StepRecord", "SimulationHistory"]
+__all__ = ["StepRecord", "SimulationHistory", "FullHistoryRequiredError"]
+
+
+class FullHistoryRequiredError(RuntimeError):
+    """An accessor needs per-user history rows that were never retained.
+
+    Raised by :class:`~repro.core.streaming.AggregateHistory` (and by
+    result objects backed by it) when a caller asks for a ``(steps,
+    users)`` matrix or per-user series in ``history_mode="aggregate"``.
+    The fix is always the same: rerun with ``history_mode="full"``.
+    """
 
 #: Initial row capacity of a freshly allocated history.
 _INITIAL_CAPACITY = 32
@@ -158,6 +176,26 @@ def _grown(old: np.ndarray, capacity: int, filled: int) -> np.ndarray:
     fresh = np.empty((capacity,) + old.shape[1:], dtype=old.dtype)
     fresh[:filled] = old[:filled]
     return fresh
+
+
+def running_default_rates_from_cums(
+    offers_cum: np.ndarray, repayments_cum: np.ndarray
+) -> np.ndarray:
+    """Return ``ADR_i`` from cumulative offers/repayments (the shared fold).
+
+    This is the single definition of the per-user running default rate —
+    "offered but not repaid", rate 0 before any offer — used by **both**
+    recording modes: :class:`SimulationHistory`'s incremental layer and the
+    streaming :class:`~repro.core.streaming.StreamingAggregator`.  Keeping
+    it in one place is what makes the cross-mode bit-identity guarantee
+    structural rather than two formulas kept in sync by convention.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(
+            offers_cum > 0,
+            1.0 - repayments_cum / np.maximum(offers_cum, 1e-12),
+            0.0,
+        )
 
 
 class SimulationHistory:
@@ -360,12 +398,9 @@ class SimulationHistory:
         self._offers_cum += decisions_row
         self._repayments_cum += actions_row * decisions_row
         self._actions_cum += actions_row
-        with np.errstate(divide="ignore", invalid="ignore"):
-            self._running_rates[row, :] = np.where(
-                self._offers_cum > 0,
-                1.0 - self._repayments_cum / np.maximum(self._offers_cum, 1e-12),
-                0.0,
-            )
+        self._running_rates[row, :] = running_default_rates_from_cums(
+            self._offers_cum, self._repayments_cum
+        )
         self._running_actions[row, :] = self._actions_cum / float(row + 1)
         self._approvals[row] = np.mean(decisions_row)
 

@@ -18,9 +18,19 @@ step's rows straight into the history's preallocated columnar storage
 (:meth:`~repro.core.history.SimulationHistory.record_step`) — no per-step
 dict deep copies — while ``step`` keeps the original record-returning
 interface for callers that drive the loop one step at a time.
+
+``run`` also accepts ``history_mode="aggregate"``: the trajectory is then
+folded into a memory-bounded
+:class:`~repro.core.streaming.AggregateHistory` (group-level series only,
+``O(users)`` state instead of ``(steps, users)`` matrices), which is what
+million-user trials use.  Recording is passive — the loop's dynamics and
+random streams are identical in both modes, so every aggregate series is
+bit-identical to its full-history counterpart.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 import numpy as np
 
@@ -28,6 +38,7 @@ from repro.core.ai_system import AISystem
 from repro.core.filters import LoopFilter
 from repro.core.history import SimulationHistory, StepRecord
 from repro.core.population import Population
+from repro.core.streaming import AggregateHistory
 from repro.utils.rng import spawn_generator
 
 __all__ = ["ClosedLoop"]
@@ -82,8 +93,10 @@ class ClosedLoop:
         self,
         num_steps: int,
         rng: int | np.random.Generator | None = None,
-        history: SimulationHistory | None = None,
-    ) -> SimulationHistory:
+        history: SimulationHistory | AggregateHistory | None = None,
+        history_mode: str = "full",
+        groups: Mapping[object, np.ndarray] | None = None,
+    ) -> SimulationHistory | AggregateHistory:
         """Run the loop for ``num_steps`` steps and return the history.
 
         Parameters
@@ -94,12 +107,36 @@ class ClosedLoop:
             Seed or generator driving all stochastic components.
         history:
             Optional existing history to append to (the loop can be run in
-            several chunks, e.g. to inspect intermediate state).
+            several chunks, e.g. to inspect intermediate state).  The
+            store's type decides the recording mode, so a resumed run keeps
+            the mode it started with regardless of ``history_mode``.
+        history_mode:
+            ``"full"`` (default) records every ``(steps, users)`` column in
+            a :class:`~repro.core.history.SimulationHistory`;
+            ``"aggregate"`` folds each step into a memory-bounded
+            :class:`~repro.core.streaming.AggregateHistory` that keeps only
+            group-level series (per-user accessors then raise
+            :class:`~repro.core.history.FullHistoryRequiredError`).
+        groups:
+            Group partition (e.g. ``population.groups``) used by the
+            aggregate store; only consulted when a new aggregate history is
+            created here.
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
+        if history_mode not in ("full", "aggregate"):
+            raise ValueError(
+                f'history_mode must be "full" or "aggregate", got {history_mode!r}'
+            )
         generator = spawn_generator(rng)
-        record_book = history if history is not None else SimulationHistory()
+        if history is not None:
+            record_book = history
+        elif history_mode == "aggregate":
+            record_book = AggregateHistory(
+                num_users=self._population.num_users, groups=groups
+            )
+        else:
+            record_book = SimulationHistory()
         start = record_book.num_steps
         for k in range(start, start + num_steps):
             public_features, decisions, actions, observation = self._advance(k, generator)

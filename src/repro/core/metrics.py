@@ -20,6 +20,7 @@ __all__ = [
     "equal_opportunity_gap",
     "default_rate_series",
     "group_average_series",
+    "group_approval_series",
 ]
 
 
@@ -125,3 +126,21 @@ def group_average_series(
         else:
             result[key] = series[:, indices].mean(axis=1)
     return result
+
+
+def group_approval_series(
+    decisions: np.ndarray, groups: Mapping[object, np.ndarray]
+) -> Dict[object, np.ndarray]:
+    """Return each group's per-step approval rate as a ``(steps,)`` series.
+
+    Unlike :func:`approval_rates_by_group`, which pools all steps into one
+    number per group, this keeps the time axis — the group-level analogue
+    of :meth:`repro.core.history.SimulationHistory.approval_rates`.  The
+    streaming engine maintains the same series online
+    (:meth:`repro.core.streaming.StreamingAggregator.group_approval_series`),
+    bit-identical to this batch formulation.
+    """
+    matrix = np.asarray(decisions, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("decisions must be a (steps, users) matrix")
+    return group_average_series(matrix, groups)

@@ -47,6 +47,17 @@ class CaseStudyConfig:
         Income-code threshold in $K (paper: $15K).
     seed:
         Master seed; trial ``t`` derives its own stream from it.
+    history_mode:
+        Trajectory recording mode: ``"full"`` (default) retains every
+        ``(steps, users)`` column so per-user figures and matrices are
+        available; ``"aggregate"`` streams each step through a
+        :class:`~repro.core.streaming.StreamingAggregator` and keeps only
+        group-level series, bounding memory at ``O(users)`` running state
+        for million-user trials.  Group-level results (``ADR_s(k)``,
+        approval and action-average series) are bit-identical between the
+        two modes; per-user accessors raise
+        :class:`~repro.core.history.FullHistoryRequiredError` in aggregate
+        mode.
     parallel:
         Run the experiment's trials concurrently.  Each trial draws from its
         own :func:`~repro.utils.rng.derive_seed` stream, so the results are
@@ -69,10 +80,15 @@ class CaseStudyConfig:
     warm_up_rounds: int = 2
     income_threshold: float = 15.0
     seed: int = 20240101
+    history_mode: str = "full"
     parallel: bool = False
     max_workers: int | None = None
 
     def __post_init__(self) -> None:
+        if self.history_mode not in ("full", "aggregate"):
+            raise ValueError(
+                f'history_mode must be "full" or "aggregate", got {self.history_mode!r}'
+            )
         require_positive(self.num_users, "num_users")
         require_positive(self.num_trials, "num_trials")
         if self.end_year < self.start_year:

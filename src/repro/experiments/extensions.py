@@ -85,7 +85,7 @@ def _steering_outcome(result: ExperimentResult) -> SteeringOutcome:
     final_rates = [float(series[-1]) for series in mean_series.values() if np.isfinite(series[-1])]
     group_gap = float(max(final_rates) - min(final_rates)) if len(final_rates) > 1 else 0.0
     final_user_rates = np.concatenate(
-        [trial.user_default_rates[-1] for trial in result.trials]
+        [trial.require_user_default_rates()[-1] for trial in result.trials]
     )
     approvals = np.mean(
         [trial.history.approval_rates().mean() for trial in result.trials]

@@ -6,6 +6,12 @@ band, over the years 2002-2020, and observes that the three curves dwindle
 towards a similar level.  The reproduction produces the same three series
 (mean and standard deviation per race per year) and reports the initial and
 final cross-race gaps.
+
+Figure 3 is a pure group-level figure, so it runs end-to-end in either
+history mode: every quantity here derives from the per-trial race-wise
+series ``ADR_s(k)``, which ``history_mode="aggregate"`` maintains online
+(bit-identical to the full-history derivation) without materialising any
+``(steps, users)`` matrix — the route to million-user reproductions.
 """
 
 from __future__ import annotations

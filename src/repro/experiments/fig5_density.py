@@ -62,7 +62,13 @@ def fig5_density(
     result: ExperimentResult | None = None,
     num_bins: int = 20,
 ) -> Fig5Result:
-    """Reproduce Figure 5 (optionally reusing an existing experiment run)."""
+    """Reproduce Figure 5 (optionally reusing an existing experiment run).
+
+    The density is a genuinely per-user quantity, so this figure requires
+    ``history_mode="full"``; an aggregate-mode experiment raises
+    :class:`~repro.core.history.FullHistoryRequiredError` (via
+    ``stacked_user_series``).
+    """
     if num_bins < 2:
         raise ValueError("num_bins must be at least 2")
     experiment = result or run_experiment(config or CaseStudyConfig())

@@ -10,6 +10,15 @@ Trials are embarrassingly parallel: trial ``t`` seeds its own generator via
 ``derive_seed(config.seed, "trial", t)``, so no random state is shared and
 running trials concurrently (``parallel=True`` on the config or the
 ``run_experiment`` call) yields bit-identical results to the serial loop.
+
+Each trial records in one of two history modes (``config.history_mode`` or
+the ``history_mode`` override): ``"full"`` retains the ``(steps, users)``
+columns, ``"aggregate"`` streams the trajectory through a
+:class:`~repro.core.streaming.StreamingAggregator` and keeps only the
+group-level series the paper's figures need, bounding memory for
+million-user trials.  Group-level results are bit-identical between modes;
+per-user accessors (``user_default_rates``, ``stacked_user_series``) raise
+:class:`~repro.core.history.FullHistoryRequiredError` in aggregate mode.
 The runner uses a process pool (the trial body is pure numpy-crunching
 Python, which threads cannot overlap under the GIL) and falls back to the
 plain serial loop when the inputs cannot be pickled (e.g. a lambda policy
@@ -30,9 +39,10 @@ import numpy as np
 
 from repro.core.ai_system import AISystem, CreditScoringSystem
 from repro.core.filters import DefaultRateFilter
-from repro.core.history import SimulationHistory
+from repro.core.history import FullHistoryRequiredError, SimulationHistory
 from repro.core.loop import ClosedLoop
-from repro.core.metrics import group_average_series
+from repro.core.metrics import group_approval_series, group_average_series
+from repro.core.streaming import AggregateHistory
 from repro.core.population import CreditPopulation
 from repro.credit.lender import Lender
 from repro.credit.mortgage import MortgageTerms
@@ -65,22 +75,69 @@ class TrialResult:
     Attributes
     ----------
     history:
-        The full closed-loop history of the trial.
+        The trial's trajectory store: a
+        :class:`~repro.core.history.SimulationHistory` in full mode, an
+        :class:`~repro.core.streaming.AggregateHistory` in aggregate mode.
     user_default_rates:
-        ``ADR_i(k)`` as a ``(steps, users)`` matrix.
+        ``ADR_i(k)`` as a ``(steps, users)`` matrix, or ``None`` in
+        aggregate mode (per-user rows are never materialised there).
     group_default_rates:
-        ``ADR_s(k)`` per race as ``(steps,)`` vectors.
+        ``ADR_s(k)`` per race as ``(steps,)`` vectors — available, and
+        bit-identical, in both modes.
     races:
         The per-user race labels of the trial's population.
     years:
         Calendar years of the steps.
     """
 
-    history: SimulationHistory
-    user_default_rates: np.ndarray
+    history: SimulationHistory | AggregateHistory
+    user_default_rates: np.ndarray | None
     group_default_rates: Dict[Race, np.ndarray]
     races: np.ndarray
     years: Tuple[int, ...]
+
+    @property
+    def history_mode(self) -> str:
+        """Return the recording mode this trial ran with."""
+        return "aggregate" if isinstance(self.history, AggregateHistory) else "full"
+
+    def group_indices(self) -> Dict[Race, np.ndarray]:
+        """Return, per race, the user indices of this trial's population."""
+        races_array = np.asarray(self.races, dtype=object)
+        return {race: np.flatnonzero(races_array == race) for race in Race}
+
+    def approval_rate_series(self) -> np.ndarray:
+        """Return the per-step approval rates (identical in both modes)."""
+        return np.asarray(self.history.approval_rates())
+
+    def group_action_averages(self) -> Dict[Race, np.ndarray]:
+        """Return the per-race Cesàro action-average series.
+
+        Aggregate mode reads the streaming series; full mode derives the
+        same arrays (bit for bit) from the per-user history.
+        """
+        if isinstance(self.history, AggregateHistory):
+            return dict(self.history.group_action_average_series())
+        return group_average_series(
+            self.history.running_action_averages(), self.group_indices()
+        )
+
+    def group_approval_series(self) -> Dict[Race, np.ndarray]:
+        """Return the per-race per-step approval-rate series (both modes)."""
+        if isinstance(self.history, AggregateHistory):
+            return dict(self.history.group_approval_series())
+        return group_approval_series(
+            self.history.decisions_matrix(), self.group_indices()
+        )
+
+    def require_user_default_rates(self) -> np.ndarray:
+        """Return the per-user ADR matrix, or raise in aggregate mode."""
+        if self.user_default_rates is None:
+            raise FullHistoryRequiredError(
+                "per-user default-rate series are not retained in "
+                'history_mode="aggregate"; rerun with history_mode="full"'
+            )
+        return self.user_default_rates
 
     @property
     def final_group_rates(self) -> Dict[Race, float]:
@@ -116,6 +173,13 @@ class ExperimentResult:
         """Return the calendar years of the simulation."""
         return self.config.years
 
+    @property
+    def history_mode(self) -> str:
+        """Return the recording mode the trials ran with."""
+        if self.trials:
+            return self.trials[0].history_mode
+        return self.config.history_mode
+
     def group_mean_series(self) -> Dict[Race, np.ndarray]:
         """Return, per race, the across-trial mean of ``ADR_s(k)``."""
         return {
@@ -138,10 +202,11 @@ class ExperimentResult:
         """Return all user-wise ADR series stacked as ``(trials * users, steps)``.
 
         This is the collection of ``5 x 1000`` curves shown in the paper's
-        Figure 4.
+        Figure 4.  Requires full-history trials; aggregate-mode runs raise
+        :class:`~repro.core.history.FullHistoryRequiredError`.
         """
         return np.vstack(
-            [trial.user_default_rates.T for trial in self.trials]
+            [trial.require_user_default_rates().T for trial in self.trials]
         )
 
     def stacked_user_races(self) -> np.ndarray:
@@ -155,6 +220,7 @@ def run_trial(
     policy_factory: PolicyFactory | None = None,
     terms: MortgageTerms | None = None,
     income_table: IncomeTable | None = None,
+    history_mode: str | None = None,
 ) -> TrialResult:
     """Run one trial of the case study.
 
@@ -171,7 +237,16 @@ def run_trial(
         Mortgage terms override (defaults to the configuration's terms).
     income_table:
         Income-table override (defaults to the embedded synthetic table).
+    history_mode:
+        Recording-mode override (``None`` defers to
+        ``config.history_mode``).  ``"aggregate"`` bounds memory by
+        streaming group-level series instead of materialising the
+        ``(steps, users)`` history; the group series are bit-identical to
+        the full-history path.
     """
+    mode = config.history_mode if history_mode is None else history_mode
+    if mode not in ("full", "aggregate"):
+        raise ValueError(f'history_mode must be "full" or "aggregate", got {mode!r}')
     factory = policy_factory or default_policy_factory
     trial_seed = derive_seed(config.seed, "trial", trial_index)
     rng = np.random.default_rng(trial_seed)
@@ -195,9 +270,19 @@ def run_trial(
         population=population,
         loop_filter=DefaultRateFilter(num_users=config.num_users),
     )
-    history = loop.run(config.num_steps, rng=rng)
-    user_rates = history.running_default_rates()
-    group_rates = group_average_series(user_rates, population.groups)
+    if mode == "aggregate":
+        history = loop.run(
+            config.num_steps,
+            rng=rng,
+            history_mode="aggregate",
+            groups=population.groups,
+        )
+        user_rates = None
+        group_rates = history.group_default_rate_series()
+    else:
+        history = loop.run(config.num_steps, rng=rng)
+        user_rates = history.running_default_rates()
+        group_rates = group_average_series(user_rates, population.groups)
     return TrialResult(
         history=history,
         user_default_rates=user_rates,
@@ -214,16 +299,18 @@ def _run_trial_task(
         PolicyFactory | None,
         MortgageTerms | None,
         IncomeTable | None,
+        str | None,
     ]
 ) -> TrialResult:
     """Executor entry point: run one trial from a pickled argument tuple."""
-    config, trial_index, policy_factory, terms, income_table = payload
+    config, trial_index, policy_factory, terms, income_table, history_mode = payload
     return run_trial(
         config,
         trial_index=trial_index,
         policy_factory=policy_factory,
         terms=terms,
         income_table=income_table,
+        history_mode=history_mode,
     )
 
 
@@ -242,6 +329,7 @@ def run_experiment(
     income_table: IncomeTable | None = None,
     parallel: bool | None = None,
     max_workers: int | None = None,
+    history_mode: str | None = None,
 ) -> ExperimentResult:
     """Run all trials of the case study and return the aggregate result.
 
@@ -251,6 +339,9 @@ def run_experiment(
         The case-study configuration.
     policy_factory, terms, income_table:
         Per-trial overrides, as in :func:`run_trial`.
+    history_mode:
+        Recording-mode override for every trial (``None`` defers to
+        ``config.history_mode``); see :func:`run_trial`.
     parallel:
         Run trials concurrently; ``None`` defers to ``config.parallel``.
         Results are bit-identical to the serial path because every trial
@@ -269,7 +360,7 @@ def run_experiment(
     trials: List[TrialResult] | None = None
     if use_parallel and config.num_trials > 1 and worker_count > 1:
         trials = _try_run_trials_in_processes(
-            config, policy_factory, terms, income_table, worker_count
+            config, policy_factory, terms, income_table, worker_count, history_mode
         )
     if trials is None:
         trials = [
@@ -279,6 +370,7 @@ def run_experiment(
                 policy_factory=policy_factory,
                 terms=terms,
                 income_table=income_table,
+                history_mode=history_mode,
             )
             for trial_index in range(config.num_trials)
         ]
@@ -291,6 +383,7 @@ def _try_run_trials_in_processes(
     terms: MortgageTerms | None,
     income_table: IncomeTable | None,
     workers: int,
+    history_mode: str | None = None,
 ) -> List[TrialResult] | None:
     """Run the trials on a process pool, or return ``None`` for serial fallback.
 
@@ -301,7 +394,7 @@ def _try_run_trials_in_processes(
     the plain serial loop instead — bit-identical either way.
     """
     payloads = [
-        (config, trial_index, policy_factory, terms, income_table)
+        (config, trial_index, policy_factory, terms, income_table, history_mode)
         for trial_index in range(config.num_trials)
     ]
     if not _is_picklable(payloads[0]):

@@ -94,7 +94,7 @@ def table1_scorecard_result(
         for step in range(1, trial.history.num_steps):
             record = trial.history.records[step]
             incomes_list.append(np.asarray(record.public_features["income"], dtype=float))
-            rates_list.append(trial.user_default_rates[step - 1])
+            rates_list.append(trial.require_user_default_rates()[step - 1])
             labels_list.append(np.asarray(record.actions, dtype=float))
         lender = Lender(cutoff=run_config.cutoff, warm_up_rounds=0)
         trained_card = lender.retrain(
