@@ -15,13 +15,21 @@ regression target of ``test_bench_streaming_memory_ceiling``.
 Usage::
 
     PYTHONPATH=src python benchmarks/record_core_bench.py \
-        [--label LABEL] [--users N] [--memory-users N | --skip-memory]
+        [--label LABEL] [--users N] [--memory-users N | --skip-memory] \
+        [--skip-sharded]
+
+The entry also records the sharded-trial layout timings (1 serial shard
+vs. 2 and 8 pooled worker shards at the benchmark scale, all
+bit-identical) together with ``cpu_count``: the pooled layouts only pay
+off on multi-core hosts, so the ratio is meaningless without the core
+count next to it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import time
 from datetime import datetime, timezone
@@ -99,6 +107,7 @@ def measure(num_users: int) -> dict:
     ifs_loop_ms = (time.perf_counter() - start) * 1e3
 
     return {
+        "cpu_count": os.cpu_count(),
         "trial_100k_x20_s": round(trial_seconds, 4),
         "metrics_query_incremental_ms": round(metrics_incremental_ms, 5),
         "metrics_query_recompute_ms": round(metrics_recompute_ms, 3),
@@ -107,6 +116,39 @@ def measure(num_users: int) -> dict:
         "ifs_respond_per_user_loop_ms": round(ifs_loop_ms, 1),
         "ifs_speedup_x": round(ifs_loop_ms / max(ifs_batched_ms, 1e-9), 1),
     }
+
+
+def measure_sharded(num_users: int) -> dict:
+    """Time the sharded-trial layouts (1 serial, 2 and 8 pooled workers).
+
+    Results are bit-identical across layouts by construction (the random
+    schedule depends only on the canonical shard partition), so this is a
+    pure wall-clock comparison.  The pooled layouts can only beat the
+    serial one when real cores exist: each step still retrains the
+    scorecard centrally (Amdahl's serial fraction), and on a single-CPU
+    host the per-step gather/scatter IPC is pure overhead — which is why
+    ``cpu_count`` is recorded alongside the timings.
+    """
+    from repro.experiments.config import CaseStudyConfig
+    from repro.experiments.runner import run_trial
+
+    config = CaseStudyConfig(num_users=num_users, num_trials=1, end_year=2021)
+    timings: dict = {"cpu_count": os.cpu_count()}
+    layouts = [
+        ("sharded_trial_1shard_serial_s", {}),
+        ("sharded_trial_2shards_pool_s", dict(num_shards=2, shard_parallel=True)),
+        ("sharded_trial_8shards_pool_s", dict(num_shards=8, shard_parallel=True)),
+    ]
+    for key, kwargs in layouts:
+        start = time.perf_counter()
+        run_trial(config, trial_index=0, **kwargs)
+        timings[key] = round(time.perf_counter() - start, 4)
+    timings["sharded_speedup_8x_vs_1_x"] = round(
+        timings["sharded_trial_1shard_serial_s"]
+        / max(timings["sharded_trial_8shards_pool_s"], 1e-9),
+        2,
+    )
+    return timings
 
 
 def main() -> None:
@@ -124,9 +166,16 @@ def main() -> None:
         action="store_true",
         help="skip the (slow) subprocess memory probes",
     )
+    parser.add_argument(
+        "--skip-sharded",
+        action="store_true",
+        help="skip the sharded-trial layout timings",
+    )
     args = parser.parse_args()
 
     timings = measure(args.users)
+    if not args.skip_sharded:
+        timings.update(measure_sharded(args.users))
     memory: dict = {}
     if not args.skip_memory:
         import mem_probe

@@ -37,17 +37,25 @@ __all__ = ["build_parser", "main"]
 
 #: Sub-commands whose group-level output supports the memory-bounded
 #: ``--history-mode aggregate`` path; everything else needs per-user rows.
-_AGGREGATE_CAPABLE = ("fig3", "fig4")
+#: fig5 joined the list when the streaming per-step rate histograms landed.
+_AGGREGATE_CAPABLE = ("fig3", "fig4", "fig5")
 
 
 def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
     if arguments.full:
-        return CaseStudyConfig(seed=arguments.seed, history_mode=arguments.history_mode)
+        return CaseStudyConfig(
+            seed=arguments.seed,
+            history_mode=arguments.history_mode,
+            num_shards=arguments.shards,
+            shard_parallel=arguments.shard_parallel,
+        )
     return CaseStudyConfig(
         num_users=arguments.users,
         num_trials=arguments.trials,
         seed=arguments.seed,
         history_mode=arguments.history_mode,
+        num_shards=arguments.shards,
+        shard_parallel=arguments.shard_parallel,
     )
 
 
@@ -64,13 +72,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="use the paper-scale configuration (1000 users, 5 trials)"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "worker shards per trial (intra-trial parallelism); results are "
+            "bit-identical for every value — the random schedule depends only "
+            "on the population's canonical shard partition, never on the "
+            "worker count (pass --shard-parallel to actually use a process "
+            "pool; otherwise the shards run serially in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-parallel",
+        action="store_true",
+        help="execute each trial's worker shards on a process pool",
+    )
+    parser.add_argument(
         "--history-mode",
         choices=["full", "aggregate"],
         default="full",
         help=(
             "trajectory recording mode: 'full' retains per-user history, "
-            "'aggregate' streams group-level series in bounded memory "
-            "(million-user runs; fig3/fig4 only, bit-identical group series)"
+            "'aggregate' streams group-level series and per-step rate "
+            "histograms in bounded memory (million-user runs; fig3/fig4/fig5, "
+            "bit-identical results)"
         ),
     )
     parser.add_argument(

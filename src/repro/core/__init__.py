@@ -40,6 +40,12 @@ from repro.core.filters import (
     LoopFilter,
 )
 from repro.core.loop import ClosedLoop
+from repro.core.sharding import (
+    NUM_CANONICAL_SHARDS,
+    PopulationShard,
+    ShardPlan,
+    shard_population,
+)
 from repro.core.history import (
     FullHistoryRequiredError,
     SimulationHistory,
@@ -83,6 +89,10 @@ __all__ = [
     "IntegralFilter",
     "AnomalyClippingFilter",
     "ClosedLoop",
+    "NUM_CANONICAL_SHARDS",
+    "ShardPlan",
+    "PopulationShard",
+    "shard_population",
     "SimulationHistory",
     "StepRecord",
     "AggregateHistory",

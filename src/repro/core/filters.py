@@ -82,6 +82,29 @@ class DefaultRateFilter:
         restored._tracker = DefaultRateTracker.from_state(state)
         return restored
 
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Replace this filter's cumulative state in place.
+
+        The sharded orchestrator uses this at the end of a pooled run to
+        fold the merged worker filters back into the loop's own filter
+        object, so callers holding a reference to it see the final state.
+        """
+        self._tracker = DefaultRateTracker.from_state(state)
+
+    def shard_slice(self, lo: int, hi: int) -> "DefaultRateFilter":
+        """Return a fresh filter over users ``[lo, hi)``.
+
+        Only a filter that has not folded in any step can be sliced (the
+        per-user cumulative state of a running filter would have to be
+        split, which the sharded runner never needs: workers start from a
+        fresh filter and merge at the end).
+        """
+        if self._tracker.steps_recorded != 0:
+            raise ValueError("only a fresh DefaultRateFilter can be sliced")
+        if not 0 <= lo < hi <= self._tracker.num_users:
+            raise ValueError("invalid user range")
+        return DefaultRateFilter(hi - lo, prior_rate=self._tracker.prior_rate)
+
     def merge(self, other: "DefaultRateFilter") -> "DefaultRateFilter":
         """Merge two filters that observed disjoint user shards.
 

@@ -13,35 +13,218 @@ One pass through the loop at time ``k``:
    the next step.
 
 :class:`ClosedLoop` implements exactly that ordering and records every step
-in a :class:`~repro.core.history.SimulationHistory`.  ``run`` writes each
-step's rows straight into the history's preallocated columnar storage
-(:meth:`~repro.core.history.SimulationHistory.record_step`) — no per-step
-dict deep copies — while ``step`` keeps the original record-returning
-interface for callers that drive the loop one step at a time.
+in a :class:`~repro.core.history.SimulationHistory` (or, with
+``history_mode="aggregate"``, a memory-bounded
+:class:`~repro.core.streaming.AggregateHistory`).
 
-``run`` also accepts ``history_mode="aggregate"``: the trajectory is then
-folded into a memory-bounded
-:class:`~repro.core.streaming.AggregateHistory` (group-level series only,
-``O(users)`` state instead of ``(steps, users)`` matrices), which is what
-million-user trials use.  Recording is passive — the loop's dynamics and
-random streams are identical in both modes, so every aggregate series is
-bit-identical to its full-history counterpart.
+Sharded execution
+-----------------
+
+Within a step, every stochastic population quantity is independent across
+users, so the loop executes the population *shard by shard*: a shard-aware
+population (one exposing ``shard_plan``, see
+:class:`~repro.core.sharding.ShardPlan`) is driven with one derived
+generator per canonical shard and step
+(:func:`~repro.utils.rng.shard_step_generator`) instead of one trial-wide
+generator.  The random schedule is a pure function of ``(base seed, shard,
+step)`` — independent of worker count, chunking and scheduling — which
+makes the following three execution modes produce **bit-identical**
+trajectories:
+
+* the default in-process run (all shards advanced serially);
+* ``run(..., num_shards=w, shard_parallel=True)``: the canonical shards
+  are grouped onto ``w`` persistent worker processes; each step the
+  orchestrator gathers the workers' public features, decides centrally,
+  scatters the decisions, gathers the actions, retrains centrally, and
+  assembles the observation from the workers' per-shard
+  :class:`~repro.core.filters.DefaultRateFilter` pieces (integer count
+  state, so the merged observation is exactly the unsharded filter's); at
+  the end of the run the worker filters are folded back into the loop's
+  filter with the exact ``DefaultRateFilter.merge``;
+* chunked runs (``run`` called repeatedly with the growing history).
+
+Recording stays in the orchestrator in every mode, so the cross-mode
+bit-identity guarantees of :mod:`repro.core.streaming` are untouched.
+
+The per-shard streams are a deliberate, pinned break from the pre-sharding
+engine's single trial-wide generator; the equivalence suites were
+re-goldened when it landed (see ``tests/experiments/test_engine_equivalence.py``).
+
+Populations without a ``shard_plan`` (e.g. hand-written test doubles) run
+as a single shard and keep the legacy one-generator ``begin_step``/
+``respond`` signature; their stream is then ``shard_step_generator(base,
+0, k)``.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.ai_system import AISystem
-from repro.core.filters import LoopFilter
+from repro.core.filters import DefaultRateFilter, LoopFilter
 from repro.core.history import SimulationHistory, StepRecord
 from repro.core.population import Population
+from repro.core.sharding import PopulationShard, ShardPlan, shard_population
 from repro.core.streaming import AggregateHistory
-from repro.utils.rng import spawn_generator
+from repro.utils.rng import shard_step_generator, spawn_generator
 
 __all__ = ["ClosedLoop"]
+
+_MAX_SEED = 2**63 - 1
+
+
+def _resolve_population_plan(population) -> Tuple[ShardPlan, bool]:
+    """Return ``(plan, shard_aware)`` for any population object."""
+    plan = getattr(population, "shard_plan", None)
+    if isinstance(plan, ShardPlan):
+        return plan, True
+    return ShardPlan.single(population.num_users), False
+
+
+# ----------------------------------------------------------------------
+# Worker side of the process-pool path.  Each worker process belongs to a
+# single-worker executor, so module-level state keyed by a run token
+# persists across the per-step task submissions.
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: Dict[str, Dict[str, object]] = {}
+
+
+def _pool_worker_init(token: str, payload: Dict[str, object]) -> bool:
+    """Install one worker's shard state (population slice, filter, seed)."""
+    shard: PopulationShard = payload["shard"]
+    _WORKER_STATE[token] = {
+        "population": shard.population,
+        "shard_ids": shard.shard_ids,
+        "base_seed": payload["base_seed"],
+        "filter": DefaultRateFilter(
+            num_users=shard.num_users, prior_rate=payload["prior_rate"]
+        ),
+        "step_rngs": {},
+    }
+    return True
+
+
+def _pool_worker_begin(token: str, k: int) -> Dict[str, np.ndarray]:
+    """Phase 1 of step ``k``: reveal the worker's public features."""
+    state = _WORKER_STATE[token]
+    rngs = [
+        shard_step_generator(state["base_seed"], shard_id, k)
+        for shard_id in state["shard_ids"]
+    ]
+    state["step_rngs"][k] = rngs
+    return state["population"].begin_step(k, rngs)
+
+
+def _pool_worker_respond(
+    token: str, k: int, decisions: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, float, float]:
+    """Phase 2 of step ``k``: respond, update the shard filter.
+
+    Returns ``(actions, user_default_rates, offers_total,
+    repayments_total)`` — the pieces the orchestrator needs to assemble the
+    exact global observation.
+    """
+    state = _WORKER_STATE[token]
+    rngs = state["step_rngs"].pop(k)
+    actions = np.asarray(
+        state["population"].respond(decisions, k, rngs), dtype=float
+    ).ravel()
+    shard_filter: DefaultRateFilter = state["filter"]
+    observation = shard_filter.update(decisions, actions, k)
+    tracker = shard_filter.tracker
+    return (
+        actions,
+        np.asarray(observation["user_default_rates"], dtype=float),
+        float(tracker.offers.sum()),
+        float(tracker.repayments.sum()),
+    )
+
+
+def _pool_worker_finalize(token: str) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Collect the worker's final population and filter state."""
+    state = _WORKER_STATE.pop(token)
+    return (
+        state["population"].export_shard_state(),
+        state["filter"].export_state(),
+    )
+
+
+class _ShardWorkerPool:
+    """A set of persistent single-process executors, one per worker shard.
+
+    Using one ``max_workers=1`` executor per shard pins each shard's state
+    to one OS process across the whole run — the worker functions above
+    keep the sliced population, the derived streams and the shard filter in
+    module state between the per-step task submissions.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[PopulationShard],
+        base_seed: int,
+        prior_rate: float,
+        token: str,
+    ) -> None:
+        self.shards = list(shards)
+        self.token = token
+        self._executors: List[ProcessPoolExecutor] = []
+        try:
+            for shard in self.shards:
+                executor = ProcessPoolExecutor(max_workers=1)
+                self._executors.append(executor)
+            futures = [
+                executor.submit(
+                    _pool_worker_init,
+                    token,
+                    {
+                        "shard": shard,
+                        "base_seed": base_seed,
+                        "prior_rate": prior_rate,
+                    },
+                )
+                for executor, shard in zip(self._executors, self.shards)
+            ]
+            for future in futures:
+                future.result()
+        except Exception:
+            self.shutdown()
+            raise
+
+    def map_begin(self, k: int) -> List[Dict[str, np.ndarray]]:
+        futures = [
+            executor.submit(_pool_worker_begin, self.token, k)
+            for executor in self._executors
+        ]
+        return [future.result() for future in futures]
+
+    def map_respond(self, k: int, decisions: np.ndarray):
+        futures = [
+            executor.submit(
+                _pool_worker_respond,
+                self.token,
+                k,
+                decisions[shard.lo : shard.hi],
+            )
+            for executor, shard in zip(self._executors, self.shards)
+        ]
+        return [future.result() for future in futures]
+
+    def finalize(self):
+        futures = [
+            executor.submit(_pool_worker_finalize, self.token)
+            for executor in self._executors
+        ]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        for executor in self._executors:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self._executors = []
 
 
 class ClosedLoop:
@@ -73,6 +256,11 @@ class ClosedLoop:
         self._population = population
         self._filter = loop_filter
         self._retrain = retrain
+        self._plan, self._shard_aware = _resolve_population_plan(population)
+        # Base seed of the shard streams; fixed at the first run/step call
+        # so chunked runs continue the exact single-run schedule.
+        self._stream_base: int | None = None
+        self._pool_token_counter = 0
 
     @property
     def ai_system(self) -> AISystem:
@@ -89,6 +277,40 @@ class ClosedLoop:
         """Return the filter."""
         return self._filter
 
+    @property
+    def shard_plan(self) -> ShardPlan:
+        """Return the canonical shard partition the loop executes."""
+        return self._plan
+
+    def _resolve_stream_base(self, rng, continuing: bool = False) -> int:
+        """Fix (or reuse) the base seed of the shard streams.
+
+        A fresh run resolves the base from ``rng`` every time — an integer
+        is the base itself, a generator contributes one draw (advancing
+        it, so repeated runs with the same generator stay independent),
+        and ``None`` draws from OS entropy.  Only a *continuation*
+        (``run`` with a non-empty history, and ``rng=None``) reuses the
+        established base, which is what replays the exact single-run
+        schedule across chunks.
+        """
+        if continuing and rng is None and self._stream_base is not None:
+            return self._stream_base
+        if rng is not None and not isinstance(rng, np.random.Generator):
+            self._stream_base = int(rng)
+        else:
+            source = spawn_generator(rng)
+            self._stream_base = int(source.integers(_MAX_SEED))
+        return self._stream_base
+
+    def _step_rngs(self, k: int) -> List[np.random.Generator]:
+        """Return the per-shard generators of step ``k``."""
+        base = self._stream_base
+        assert base is not None
+        return [
+            shard_step_generator(base, shard, k)
+            for shard in range(self._plan.num_shards)
+        ]
+
     def run(
         self,
         num_steps: int,
@@ -96,6 +318,8 @@ class ClosedLoop:
         history: SimulationHistory | AggregateHistory | None = None,
         history_mode: str = "full",
         groups: Mapping[object, np.ndarray] | None = None,
+        num_shards: int = 1,
+        shard_parallel: bool = False,
     ) -> SimulationHistory | AggregateHistory:
         """Run the loop for ``num_steps`` steps and return the history.
 
@@ -104,7 +328,10 @@ class ClosedLoop:
         num_steps:
             Number of passes through the loop.
         rng:
-            Seed or generator driving all stochastic components.
+            Base seed (or generator contributing one draw) of the
+            per-shard random streams.  Leave it ``None`` when continuing
+            an existing history: the loop then reuses the base it started
+            with, which replays the exact schedule of an unchunked run.
         history:
             Optional existing history to append to (the loop can be run in
             several chunks, e.g. to inspect intermediate state).  The
@@ -121,6 +348,17 @@ class ClosedLoop:
             Group partition (e.g. ``population.groups``) used by the
             aggregate store; only consulted when a new aggregate history is
             created here.
+        num_shards:
+            Number of worker processes the canonical shards are grouped
+            onto when ``shard_parallel`` is set.  Results are bit-identical
+            for every value: the random schedule depends only on the
+            canonical shard partition, never on the worker grouping.
+        shard_parallel:
+            Execute the worker shards on a process pool (one persistent
+            process per worker).  Requires a fresh run (no existing
+            history), a shard-aware picklable population and a fresh
+            :class:`~repro.core.filters.DefaultRateFilter`; anything else
+            falls back to the serial path, which is bit-identical.
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
@@ -128,7 +366,10 @@ class ClosedLoop:
             raise ValueError(
                 f'history_mode must be "full" or "aggregate", got {history_mode!r}'
             )
-        generator = spawn_generator(rng)
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        continuing = history is not None and history.num_steps > 0
+        self._resolve_stream_base(rng, continuing=continuing)
         if history is not None:
             record_book = history
         elif history_mode == "aggregate":
@@ -138,15 +379,39 @@ class ClosedLoop:
         else:
             record_book = SimulationHistory()
         start = record_book.num_steps
+        if (
+            shard_parallel
+            and num_steps > 0
+            and start == 0
+            and min(num_shards, self._plan.num_shards) > 1
+        ):
+            pooled = self._try_run_pooled(num_steps, record_book, num_shards)
+            if pooled is not None:
+                return pooled
         for k in range(start, start + num_steps):
-            public_features, decisions, actions, observation = self._advance(k, generator)
+            public_features, decisions, actions, observation = self._advance(
+                k, self._step_rngs(k)
+            )
             record_book.record_step(k, public_features, decisions, actions, observation)
         return record_book
 
     def step(self, k: int, rng: int | np.random.Generator | None = None) -> StepRecord:
-        """Execute one pass through the loop at time ``k``."""
-        generator = spawn_generator(rng)
-        public_features, decisions, actions, observation = self._advance(k, generator)
+        """Execute one pass through the loop at time ``k``.
+
+        The base of the shard streams is resolved from ``rng`` for this
+        call only (``None`` draws fresh entropy), without touching the base
+        an earlier :meth:`run` established — a diagnostic ``step`` between
+        chunked runs therefore cannot perturb the continuation's schedule.
+        """
+        if rng is not None and not isinstance(rng, np.random.Generator):
+            base = int(rng)
+        else:
+            base = int(spawn_generator(rng).integers(_MAX_SEED))
+        rngs = [
+            shard_step_generator(base, shard, k)
+            for shard in range(self._plan.num_shards)
+        ]
+        public_features, decisions, actions, observation = self._advance(k, rngs)
         return StepRecord(
             step=k,
             public_features={
@@ -165,15 +430,19 @@ class ClosedLoop:
             },
         )
 
-    def _advance(self, k: int, generator: np.random.Generator):
+    def _advance(self, k: int, rngs: List[np.random.Generator]):
         """Run one pass through the loop and return its raw pieces.
 
+        ``rngs`` holds one generator per canonical shard; a shard-aware
+        population consumes the whole list (advancing each shard on its own
+        stream), a legacy population gets the single shard-0 generator.
         Returns ``(public_features, decisions, actions, observation_after)``
         without any defensive copying — the caller either hands them to the
         history's columnar ingest (which copies into its own buffers) or
         wraps them in a :class:`StepRecord` with explicit copies.
         """
-        public_features = self._population.begin_step(k, generator)
+        population_rng = rngs if self._shard_aware else rngs[0]
+        public_features = self._population.begin_step(k, population_rng)
         observation_before = self._filter.observation()
         decisions = np.asarray(
             self._ai_system.decide(public_features, observation_before, k), dtype=float
@@ -184,7 +453,7 @@ class ClosedLoop:
                 f"({decisions.shape[0]} != {self._population.num_users})"
             )
         actions = np.asarray(
-            self._population.respond(decisions, k, generator), dtype=float
+            self._population.respond(decisions, k, population_rng), dtype=float
         ).ravel()
         if actions.shape[0] != self._population.num_users:
             raise ValueError("the population must return one action per user")
@@ -194,3 +463,150 @@ class ClosedLoop:
             )
         observation_after = self._filter.update(decisions, actions, k)
         return public_features, decisions, actions, observation_after
+
+    # ------------------------------------------------------------------
+    # Process-pool shard execution
+    # ------------------------------------------------------------------
+
+    def _pool_eligible(self) -> bool:
+        """Return whether this loop can run its shards on worker processes."""
+        population = self._population
+        if not self._shard_aware:
+            return False
+        if not all(
+            hasattr(population, name)
+            for name in ("shard_slice", "export_shard_state", "import_shard_state")
+        ):
+            return False
+        loop_filter = self._filter
+        # Exact type, not isinstance: pooled workers instantiate the plain
+        # DefaultRateFilter and the orchestrator reassembles its two
+        # observation keys, so a subclass overriding observation()/update()
+        # would silently lose its behavior in the pool — send it down the
+        # bit-identical serial path instead.
+        if type(loop_filter) is not DefaultRateFilter:
+            return False
+        tracker = loop_filter.tracker
+        if tracker.steps_recorded != 0 or tracker.num_users != population.num_users:
+            return False
+        return True
+
+    @staticmethod
+    def _warn_serial_fallback(reason: str, error: Exception) -> None:
+        """Surface a pooled-path fallback instead of degrading silently.
+
+        The fallback is always *correct* (the serial path is bit-identical),
+        so it must not raise — but a pool that can never start (pickling
+        regression, fork failure, daemonic parent) would otherwise cost the
+        caller their speedup with zero diagnostic.
+        """
+        warnings.warn(
+            f"shard_parallel fell back to the serial path: {reason} ({error!r})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _try_run_pooled(
+        self,
+        num_steps: int,
+        record_book: SimulationHistory | AggregateHistory,
+        num_shards: int,
+    ) -> SimulationHistory | AggregateHistory | None:
+        """Run the shards on worker processes, or ``None`` for serial fallback.
+
+        The fallback triggers before anything is recorded: ineligible
+        population/filter combinations, unpicklable shard payloads and
+        worker start-up failures (e.g. a daemonic parent process that may
+        not fork children) all land back on the serial path, which produces
+        the identical trajectory.  Failures past the eligibility check emit
+        a :class:`RuntimeWarning` naming the cause, so a pool that can
+        never start does not silently cost the caller their speedup.
+        """
+        if not self._pool_eligible():
+            return None
+        prior_rate = self._filter.tracker.prior_rate
+        try:
+            shards = shard_population(self._population, num_shards)
+        except Exception as error:
+            self._warn_serial_fallback("slicing the population failed", error)
+            return None
+        # No pickle pre-probe: an unpicklable shard payload surfaces as an
+        # exception from the init futures inside _ShardWorkerPool, which
+        # the except below already turns into the serial fallback —
+        # probing would serialize every population slice a second time.
+        self._pool_token_counter += 1
+        token = f"closedloop-{id(self):x}-{self._pool_token_counter}"
+        try:
+            pool = _ShardWorkerPool(
+                shards, self._stream_base, prior_rate, token
+            )
+        except Exception as error:
+            self._warn_serial_fallback("starting the worker pool failed", error)
+            return None
+        try:
+            observation_before = self._filter.observation()
+            for k in range(num_steps):
+                feature_slices = pool.map_begin(k)
+                public_features = _concatenate_features(feature_slices)
+                decisions = np.asarray(
+                    self._ai_system.decide(public_features, observation_before, k),
+                    dtype=float,
+                ).ravel()
+                if decisions.shape[0] != self._population.num_users:
+                    raise ValueError(
+                        "the AI system must return one decision per user "
+                        f"({decisions.shape[0]} != {self._population.num_users})"
+                    )
+                responses = pool.map_respond(k, decisions)
+                actions = np.concatenate([response[0] for response in responses])
+                user_rates = np.concatenate([response[1] for response in responses])
+                offers_total = sum(response[2] for response in responses)
+                repayments_total = sum(response[3] for response in responses)
+                if self._retrain:
+                    self._ai_system.update(
+                        public_features, decisions, actions, observation_before, k
+                    )
+                # Exactly DefaultRateTracker.portfolio_rate on the pooled
+                # integer counts; the per-user rates concatenate exactly.
+                observation_after = {
+                    "user_default_rates": user_rates,
+                    "portfolio_rate": (
+                        prior_rate
+                        if offers_total == 0
+                        else float(1.0 - repayments_total / offers_total)
+                    ),
+                }
+                record_book.record_step(
+                    k, public_features, decisions, actions, observation_after
+                )
+                observation_before = observation_after
+            final_states = pool.finalize()
+        finally:
+            pool.shutdown()
+        merged_filter: DefaultRateFilter | None = None
+        for shard, (population_state, filter_state) in zip(shards, final_states):
+            worker_filter = DefaultRateFilter.from_state(filter_state)
+            merged_filter = (
+                worker_filter
+                if merged_filter is None
+                else merged_filter.merge(worker_filter)
+            )
+            self._population.import_shard_state(shard.lo, population_state)
+        if merged_filter is not None:
+            self._filter.import_state(merged_filter.export_state())
+        return record_book
+
+
+def _concatenate_features(
+    feature_slices: Sequence[Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Concatenate per-worker feature dicts into whole-population arrays."""
+    if not feature_slices or not feature_slices[0]:
+        return {}
+    keys = list(feature_slices[0])
+    return {
+        key: np.concatenate(
+            [np.asarray(piece[key], dtype=float) for piece in feature_slices]
+        )
+        for key in keys
+    }

@@ -1,0 +1,251 @@
+"""Shard plans: the canonical partition behind intra-trial sharded execution.
+
+One trial of the closed loop is a serial walk over time steps, but within a
+step every stochastic population quantity (incomes, repayments, IFS moves)
+is independent across users.  The sharded engine exploits that by
+partitioning the users of a population into contiguous *shards* and giving
+each shard its own derived random stream
+(:func:`repro.utils.rng.shard_step_generator`).
+
+The partition is **canonical**: a population of ``n`` users is always split
+into ``min(NUM_CANONICAL_SHARDS, n)`` contiguous ranges, regardless of how
+many workers later execute them.  The random schedule is therefore a
+function of ``(base seed, shard index, step)`` alone, so
+
+* running the shards serially in one process,
+* running them on any number of worker processes (``num_shards`` workers
+  each own a contiguous run of canonical shards), and
+* resuming a chunked run
+
+all produce bit-identical trajectories.  The canonical shard count is part
+of the engine's pinned random stream (like the seed derivation labels):
+changing :data:`NUM_CANONICAL_SHARDS` changes every simulated trajectory
+and requires re-goldening the equivalence suites.
+
+:class:`ShardPlan` is the value object describing the partition;
+:class:`PopulationShard` bundles one worker's slice of a population (a
+sub-population over a contiguous user range plus the *global* canonical
+shard indices it executes, so the worker derives exactly the streams the
+serial engine would use for those shards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "NUM_CANONICAL_SHARDS",
+    "ShardPlan",
+    "PopulationShard",
+    "shard_population",
+]
+
+#: Canonical number of user shards per population.  Part of the pinned
+#: random stream: every population is partitioned into this many contiguous
+#: ranges (capped by the population size) and shard ``s`` draws from the
+#: stream ``derive_seed(base, "shard", s)`` independent of the worker count.
+NUM_CANONICAL_SHARDS = 8
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous, covering, ordered partition of ``num_users`` users.
+
+    Attributes
+    ----------
+    num_users:
+        Number of users partitioned.
+    bounds:
+        Tuple of ``(lo, hi)`` half-open user ranges, ascending and exactly
+        covering ``[0, num_users)``.
+    """
+
+    num_users: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if not self.bounds:
+            raise ValueError("a shard plan needs at least one shard")
+        cursor = 0
+        for lo, hi in self.bounds:
+            if lo != cursor:
+                raise ValueError(
+                    f"shard bounds must be contiguous: expected start {cursor}, got {lo}"
+                )
+            if hi <= lo:
+                raise ValueError("every shard must contain at least one user")
+            cursor = hi
+        if cursor != self.num_users:
+            raise ValueError(
+                f"shard bounds must cover [0, {self.num_users}); they end at {cursor}"
+            )
+
+    @classmethod
+    def canonical(cls, num_users: int) -> "ShardPlan":
+        """Return the canonical plan: ``min(NUM_CANONICAL_SHARDS, n)`` ranges.
+
+        The split follows :func:`numpy.array_split` sizing (the first
+        ``n % shards`` ranges get one extra user), so the partition is a
+        pure function of ``num_users``.
+        """
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        return cls.with_shards(num_users, min(NUM_CANONICAL_SHARDS, num_users))
+
+    @classmethod
+    def with_shards(cls, num_users: int, num_shards: int) -> "ShardPlan":
+        """Return a plan with exactly ``num_shards`` contiguous ranges."""
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if not 1 <= num_shards <= num_users:
+            raise ValueError(
+                f"num_shards must lie in [1, {num_users}], got {num_shards}"
+            )
+        # array_split semantics: spread the remainder over the leading shards.
+        base, extra = divmod(num_users, num_shards)
+        sizes = [base + 1 if index < extra else base for index in range(num_shards)]
+        edges = np.concatenate([[0], np.cumsum(sizes)])
+        return cls(
+            num_users=num_users,
+            bounds=tuple(
+                (int(edges[index]), int(edges[index + 1]))
+                for index in range(num_shards)
+            ),
+        )
+
+    @classmethod
+    def single(cls, num_users: int) -> "ShardPlan":
+        """Return the degenerate one-shard plan (legacy populations)."""
+        return cls(num_users=num_users, bounds=((0, num_users),))
+
+    @property
+    def num_shards(self) -> int:
+        """Return the number of shards in the plan."""
+        return len(self.bounds)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Return the number of users in each shard."""
+        return tuple(hi - lo for lo, hi in self.bounds)
+
+    def slices(self) -> List[slice]:
+        """Return one :class:`slice` per shard, in shard order."""
+        return [slice(lo, hi) for lo, hi in self.bounds]
+
+    def worker_ranges(self, num_workers: int) -> List[Tuple[int, int]]:
+        """Assign canonical shards to ``num_workers`` contiguous groups.
+
+        Returns ``(shard_start, shard_stop)`` half-open *shard-index* ranges,
+        one per worker, following :func:`numpy.array_split` sizing.  Workers
+        beyond the shard count are dropped (``min(num_workers, num_shards)``
+        groups are returned), so asking for more workers than shards
+        degrades gracefully instead of creating idle workers.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        count = min(num_workers, self.num_shards)
+        base, extra = divmod(self.num_shards, count)
+        ranges: List[Tuple[int, int]] = []
+        cursor = 0
+        for index in range(count):
+            size = base + 1 if index < extra else base
+            ranges.append((cursor, cursor + size))
+            cursor += size
+        return ranges
+
+    def localized(self, shard_start: int, shard_stop: int) -> "ShardPlan":
+        """Return the sub-plan of shards ``[shard_start, shard_stop)``.
+
+        The returned plan's bounds are re-based to the worker's local user
+        range (its first shard starts at 0), which is what a sliced
+        sub-population uses internally; the *global* shard indices — and
+        hence the random streams — are carried separately by
+        :class:`PopulationShard`.
+        """
+        if not 0 <= shard_start < shard_stop <= self.num_shards:
+            raise ValueError("invalid shard range")
+        offset = self.bounds[shard_start][0]
+        bounds = tuple(
+            (lo - offset, hi - offset)
+            for lo, hi in self.bounds[shard_start:shard_stop]
+        )
+        return ShardPlan(
+            num_users=self.bounds[shard_stop - 1][1] - offset, bounds=bounds
+        )
+
+    def user_range(self, shard_start: int, shard_stop: int) -> Tuple[int, int]:
+        """Return the global user range covered by a shard-index range."""
+        if not 0 <= shard_start < shard_stop <= self.num_shards:
+            raise ValueError("invalid shard range")
+        return self.bounds[shard_start][0], self.bounds[shard_stop - 1][1]
+
+    def shard_index_range(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Return the shard-index range whose shards cover users ``[lo, hi)``.
+
+        The inverse of :meth:`user_range`: the user range must be a union
+        of consecutive shards (this is what population ``shard_slice``
+        implementations validate against).
+        """
+        starts = [bound[0] for bound in self.bounds]
+        stops = [bound[1] for bound in self.bounds]
+        if lo not in starts or hi not in stops:
+            raise ValueError(
+                f"[{lo}, {hi}) is not a union of consecutive canonical shards"
+            )
+        return starts.index(lo), stops.index(hi) + 1
+
+
+@dataclass(frozen=True)
+class PopulationShard:
+    """One worker's slice of a sharded population.
+
+    Attributes
+    ----------
+    population:
+        The sub-population over the worker's contiguous user range (built
+        with the population's ``shard_slice``); its internal plan is the
+        localized restriction of the parent's canonical plan.
+    shard_ids:
+        The *global* canonical shard indices this worker executes, in
+        order.  Workers derive their random streams from these, so the
+        draws are identical to the serial engine's for the same shards.
+    lo, hi:
+        The global user range ``[lo, hi)`` the worker owns.
+    """
+
+    population: object
+    shard_ids: Tuple[int, ...]
+    lo: int
+    hi: int
+
+    @property
+    def num_users(self) -> int:
+        """Return the number of users in the shard."""
+        return self.hi - self.lo
+
+
+def shard_population(population, num_workers: int) -> List[PopulationShard]:
+    """Slice ``population`` into per-worker :class:`PopulationShard` pieces.
+
+    The population must expose ``shard_plan`` and ``shard_slice``; workers
+    own contiguous runs of the canonical shards per
+    :meth:`ShardPlan.worker_ranges`.
+    """
+    plan: ShardPlan = population.shard_plan
+    shards: List[PopulationShard] = []
+    for shard_start, shard_stop in plan.worker_ranges(num_workers):
+        lo, hi = plan.user_range(shard_start, shard_stop)
+        shards.append(
+            PopulationShard(
+                population=population.shard_slice(lo, hi),
+                shard_ids=tuple(range(shard_start, shard_stop)),
+                lo=lo,
+                hi=hi,
+            )
+        )
+    return shards

@@ -56,10 +56,24 @@ from repro.core.history import (
     running_default_rates_from_cums,
 )
 
-__all__ = ["StreamingAggregator", "AggregateHistory", "sequential_sum"]
+__all__ = [
+    "StreamingAggregator",
+    "AggregateHistory",
+    "sequential_sum",
+    "DEFAULT_RATE_BINS",
+    "RATE_HISTOGRAM_LOW_THRESHOLD",
+]
 
 #: Initial row capacity of the per-step series (matches SimulationHistory).
 _INITIAL_CAPACITY = 32
+
+#: Number of equal-width ``ADR_i(k)`` histogram bins on [0, 1] kept per step
+#: (matches the default binning of the fig5 density driver).
+DEFAULT_RATE_BINS = 20
+
+#: Threshold of the dedicated low-rate counter (the paper's "share of users
+#: with ADR <= 0.10" summary of Figure 5).
+RATE_HISTOGRAM_LOW_THRESHOLD = 0.10
 
 
 def sequential_sum(values: np.ndarray) -> float:
@@ -136,14 +150,27 @@ class StreamingAggregator:
         num_users: int,
         groups: Mapping[object, np.ndarray] | None = None,
         prior_rate: float = 0.0,
+        rate_bins: int = DEFAULT_RATE_BINS,
     ) -> None:
         if num_users <= 0:
             raise ValueError("num_users must be positive")
+        if rate_bins < 2:
+            raise ValueError("rate_bins must be at least 2")
         self._num_users = int(num_users)
         self._prior_rate = float(prior_rate)
         self._groups = _validated_groups(groups, self._num_users)
         self._num_steps = 0
         self._capacity = _INITIAL_CAPACITY
+        # Per-step histogram of ADR_i(k) on a fixed [0, 1] binning: integer
+        # counts, so per-shard and per-trial histograms pool exactly into
+        # the full-history histogram of the concatenated stack (the fig5
+        # density path in aggregate mode).  np.histogram is called with the
+        # explicit edge array so the bin-assignment arithmetic is the same
+        # one the full-history driver uses.
+        self._rate_bins = int(rate_bins)
+        self._rate_edges = np.linspace(0.0, 1.0, self._rate_bins + 1)
+        self._rate_hist = np.zeros((self._capacity, self._rate_bins), dtype=np.int64)
+        self._rate_low_counts = np.zeros(self._capacity, dtype=np.int64)
         # O(users) running state — identical to SimulationHistory's
         # incremental layer, so the derived rows agree bit for bit.
         self._offers_cum = np.zeros(self._num_users, dtype=float)
@@ -247,6 +274,10 @@ class StreamingAggregator:
         self._rate_sumsqs[row] = float(np.dot(rates, rates))
         self._rate_mins[row] = float(rates.min())
         self._rate_maxs[row] = float(rates.max())
+        self._rate_hist[row], _ = np.histogram(rates, bins=self._rate_edges)
+        self._rate_low_counts[row] = int(
+            np.count_nonzero(rates <= RATE_HISTOGRAM_LOW_THRESHOLD)
+        )
         for key, indices in self._groups.items():
             self._group_rate_sums[key][row] = sequential_sum(rates[indices])
             self._group_action_sums[key][row] = sequential_sum(cesaro[indices])
@@ -280,6 +311,10 @@ class StreamingAggregator:
         ):
             for key in series:
                 series[key] = _grown(series[key], new_capacity, self._num_steps)
+        self._rate_hist = _grown(self._rate_hist, new_capacity, self._num_steps)
+        self._rate_low_counts = _grown(
+            self._rate_low_counts, new_capacity, self._num_steps
+        )
         self._capacity = new_capacity
 
     # ------------------------------------------------------------------
@@ -338,6 +373,34 @@ class StreamingAggregator:
         """Return, per step, the maximum ``ADR_i(k)`` over all users."""
         return self._rate_maxs[: self._num_steps].copy()
 
+    @property
+    def rate_bins(self) -> int:
+        """Return the number of ``ADR_i(k)`` histogram bins kept per step."""
+        return self._rate_bins
+
+    def rate_histogram_edges(self) -> np.ndarray:
+        """Return the fixed [0, 1] bin edges of the per-step histograms."""
+        return self._rate_edges.copy()
+
+    def rate_histogram_series(self) -> np.ndarray:
+        """Return the per-step ``ADR_i(k)`` histogram counts.
+
+        A ``(steps, rate_bins)`` integer matrix.  Counts pool exactly
+        across shards and trials (integer addition), so the summed
+        histograms equal ``np.histogram`` of the concatenated full-history
+        stack step by step — the fig5 density in bounded memory.
+        """
+        return self._rate_hist[: self._num_steps].copy()
+
+    def rate_low_count_series(self) -> np.ndarray:
+        """Return, per step, how many users have ``ADR_i(k) <= 0.10``.
+
+        The exact counter behind Figure 5's "share of users with ADR <=
+        0.10" summary (a histogram with a bin edge at 0.10 cannot recover
+        it: values exactly at the threshold fall into the next bin).
+        """
+        return self._rate_low_counts[: self._num_steps].copy()
+
     # ------------------------------------------------------------------
     # Sharding
     # ------------------------------------------------------------------
@@ -358,6 +421,9 @@ class StreamingAggregator:
             "prior_rate": self._prior_rate,
             "num_steps": filled,
             "groups": self.group_indices(),
+            "rate_bins": self._rate_bins,
+            "rate_hist": self._rate_hist[:filled].copy(),
+            "rate_low_counts": self._rate_low_counts[:filled].copy(),
             "offers_cum": self._offers_cum.copy(),
             "repayments_cum": self._repayments_cum.copy(),
             "actions_cum": self._actions_cum.copy(),
@@ -390,11 +456,25 @@ class StreamingAggregator:
             int(state["num_users"]),
             groups=state["groups"],  # type: ignore[arg-type]
             prior_rate=float(state["prior_rate"]),
+            rate_bins=int(state.get("rate_bins", DEFAULT_RATE_BINS)),
         )
         filled = int(state["num_steps"])
         while aggregator._capacity < filled:
             aggregator._grow()
         aggregator._num_steps = filled
+        rate_hist = np.asarray(
+            state.get("rate_hist", np.zeros((filled, aggregator._rate_bins))),
+            dtype=np.int64,
+        )
+        if rate_hist.shape != (filled, aggregator._rate_bins):
+            raise ValueError("state 'rate_hist' must be (num_steps, rate_bins)")
+        aggregator._rate_hist[:filled] = rate_hist
+        rate_low = np.asarray(
+            state.get("rate_low_counts", np.zeros(filled)), dtype=np.int64
+        ).ravel()
+        if rate_low.shape != (filled,):
+            raise ValueError("state 'rate_low_counts' must have one entry per step")
+        aggregator._rate_low_counts[:filled] = rate_low
         for attribute, key in (
             ("_offers_cum", "offers_cum"),
             ("_repayments_cum", "repayments_cum"),
@@ -458,6 +538,10 @@ class StreamingAggregator:
             raise ValueError("cannot merge aggregators with different prior rates")
         if tuple(self._groups) != tuple(other._groups):
             raise ValueError("cannot merge aggregators with different group keys")
+        if self._rate_bins != other._rate_bins:
+            raise ValueError(
+                "cannot merge aggregators with different histogram binnings"
+            )
         merged_groups = {
             key: np.concatenate(
                 [self._groups[key], other._groups[key] + self._num_users]
@@ -468,6 +552,7 @@ class StreamingAggregator:
             self._num_users + other._num_users,
             groups=merged_groups,
             prior_rate=self._prior_rate,
+            rate_bins=self._rate_bins,
         )
         filled = self._num_steps
         while merged._capacity < filled:
@@ -506,6 +591,13 @@ class StreamingAggregator:
         )
         merged._rate_maxs[:filled] = np.maximum(
             self._rate_maxs[:filled], other._rate_maxs[:filled]
+        )
+        # Histogram and threshold counts are integers: pooling is exact.
+        merged._rate_hist[:filled] = (
+            self._rate_hist[:filled] + other._rate_hist[:filled]
+        )
+        merged._rate_low_counts[:filled] = (
+            self._rate_low_counts[:filled] + other._rate_low_counts[:filled]
         )
         for key in self._groups:
             merged._group_rate_sums[key][:filled] = (
@@ -663,6 +755,21 @@ class AggregateHistory:
         """Return the per-group per-step approval-rate series."""
         self._require_non_empty()
         return self.aggregator.group_approval_series()
+
+    def rate_histogram_series(self) -> np.ndarray:
+        """Return the per-step ``ADR_i(k)`` histogram counts (fig5 input)."""
+        self._require_non_empty()
+        return self.aggregator.rate_histogram_series()
+
+    def rate_histogram_edges(self) -> np.ndarray:
+        """Return the fixed bin edges of the per-step rate histograms."""
+        self._require_non_empty()
+        return self.aggregator.rate_histogram_edges()
+
+    def rate_low_count_series(self) -> np.ndarray:
+        """Return, per step, the count of users with ``ADR_i(k) <= 0.10``."""
+        self._require_non_empty()
+        return self.aggregator.rate_low_count_series()
 
     # ------------------------------------------------------------------
     # Full-history-only surface: fail loudly, name the fix

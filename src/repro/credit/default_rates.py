@@ -61,6 +61,11 @@ class DefaultRateTracker:
         return self._steps_recorded
 
     @property
+    def prior_rate(self) -> float:
+        """Return the rate reported for never-offered users."""
+        return self._prior_rate
+
+    @property
     def offers(self) -> np.ndarray:
         """Return the cumulative number of offers per user."""
         return self._offers.copy()

@@ -65,6 +65,18 @@ class CaseStudyConfig:
     max_workers:
         Worker cap for the parallel runner (``None`` lets
         :mod:`concurrent.futures` pick from the CPU count).
+    num_shards:
+        Number of worker shards the users of *one trial* are grouped onto
+        when ``shard_parallel`` is set.  The random schedule depends only
+        on the population's canonical shard partition
+        (:class:`~repro.core.sharding.ShardPlan`), never on this worker
+        count, so every value — serial or pooled — yields bit-identical
+        trajectories.
+    shard_parallel:
+        Execute each trial's worker shards on a process pool (intra-trial
+        parallelism, for when the per-trial loop is the bottleneck).  Falls
+        back to the bit-identical serial path when the trial cannot be
+        sharded (non-default filter, unpicklable population, nested pools).
     """
 
     num_users: int = 1000
@@ -83,6 +95,8 @@ class CaseStudyConfig:
     history_mode: str = "full"
     parallel: bool = False
     max_workers: int | None = None
+    num_shards: int = 1
+    shard_parallel: bool = False
 
     def __post_init__(self) -> None:
         if self.history_mode not in ("full", "aggregate"):
@@ -97,6 +111,7 @@ class CaseStudyConfig:
             raise ValueError("warm_up_rounds must be non-negative")
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive when given")
+        require_positive(self.num_shards, "num_shards")
 
     @property
     def num_steps(self) -> int:

@@ -146,6 +146,11 @@ def fig4_user_adr(
 ) -> Fig4Result:
     """Reproduce Figure 4 (optionally reusing an existing experiment run)."""
     experiment = result or run_experiment(config or CaseStudyConfig())
+    if not experiment.trials:
+        raise ValueError(
+            "fig4_user_adr needs the per-trial results (user stacks or "
+            "streaming moments); rerun with keep_trials=True"
+        )
     warm_up = experiment.config.warm_up_rounds
     initial_index = min(warm_up, len(experiment.years) - 1)
     if experiment.history_mode == "aggregate":

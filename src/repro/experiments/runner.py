@@ -52,7 +52,13 @@ from repro.data.synthetic import PopulationSpec, generate_population
 from repro.experiments.config import CaseStudyConfig
 from repro.utils.rng import derive_seed
 
-__all__ = ["TrialResult", "ExperimentResult", "run_trial", "run_experiment"]
+__all__ = [
+    "TrialResult",
+    "ExperimentResult",
+    "GroupSeriesMoments",
+    "run_trial",
+    "run_experiment",
+]
 
 
 #: Signature of a policy factory: builds a fresh AI system for each trial.
@@ -153,6 +159,59 @@ class TrialResult:
         return float(max(finite) - min(finite))
 
 
+class GroupSeriesMoments:
+    """Online across-trial moments of the per-race ``ADR_s(k)`` series.
+
+    One Welford accumulator per race and step: trials stream through
+    :meth:`update` one at a time, so the across-trial mean and standard
+    deviation are available without retaining any per-trial series — the
+    route to experiments with thousands of trials
+    (``run_experiment(..., keep_trials=False)``).
+
+    The single-pass mean/std agree with the batch ``np.mean``/``np.std``
+    over the stacked series to floating-point reassociation error (Welford
+    is the numerically stable formulation); the default ``keep_trials=True``
+    path still computes the batch statistics, so golden-hash suites are
+    unaffected.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean: Dict[Race, np.ndarray] = {}
+        self._m2: Dict[Race, np.ndarray] = {}
+
+    @property
+    def num_trials(self) -> int:
+        """Return how many trials have been folded in."""
+        return self._count
+
+    def update(self, group_rates: Dict[Race, np.ndarray]) -> None:
+        """Fold one trial's per-race series into the running moments."""
+        self._count += 1
+        for race, series in group_rates.items():
+            values = np.asarray(series, dtype=float)
+            if race not in self._mean:
+                self._mean[race] = np.zeros_like(values)
+                self._m2[race] = np.zeros_like(values)
+            delta = values - self._mean[race]
+            self._mean[race] += delta / self._count
+            self._m2[race] += delta * (values - self._mean[race])
+
+    def mean_series(self) -> Dict[Race, np.ndarray]:
+        """Return, per race, the across-trial mean series."""
+        if self._count == 0:
+            raise ValueError("no trials have been accumulated")
+        return {race: mean.copy() for race, mean in self._mean.items()}
+
+    def std_series(self) -> Dict[Race, np.ndarray]:
+        """Return, per race, the across-trial (population) std series."""
+        if self._count == 0:
+            raise ValueError("no trials have been accumulated")
+        return {
+            race: np.sqrt(m2 / self._count) for race, m2 in self._m2.items()
+        }
+
+
 @dataclass(frozen=True)
 class ExperimentResult:
     """Aggregate of several trials.
@@ -162,11 +221,21 @@ class ExperimentResult:
     config:
         The configuration the trials were run with.
     trials:
-        The individual trial results, in trial order.
+        The individual trial results, in trial order.  Empty when the
+        experiment ran with ``keep_trials=False``; the across-trial group
+        statistics then come from ``group_moments``.
+    group_moments:
+        Online across-trial moments of the per-race series, accumulated as
+        the trials completed (always populated by :func:`run_experiment`).
     """
 
     config: CaseStudyConfig
     trials: Tuple[TrialResult, ...]
+    group_moments: GroupSeriesMoments | None = None
+    #: The recording mode the trials actually ran with (set by
+    #: run_experiment so a ``history_mode`` override survives
+    #: ``keep_trials=False``, where no trial is left to ask).
+    resolved_history_mode: str | None = None
 
     @property
     def years(self) -> Tuple[int, ...]:
@@ -178,10 +247,19 @@ class ExperimentResult:
         """Return the recording mode the trials ran with."""
         if self.trials:
             return self.trials[0].history_mode
+        if self.resolved_history_mode is not None:
+            return self.resolved_history_mode
         return self.config.history_mode
 
     def group_mean_series(self) -> Dict[Race, np.ndarray]:
-        """Return, per race, the across-trial mean of ``ADR_s(k)``."""
+        """Return, per race, the across-trial mean of ``ADR_s(k)``.
+
+        With retained trials this is the batch ``np.mean`` over the
+        stacked per-trial series (bit-stable for the golden suites); a
+        trial-free result answers from the online moments instead.
+        """
+        if not self.trials:
+            return self._require_moments().mean_series()
         return {
             race: np.mean(
                 [trial.group_default_rates[race] for trial in self.trials], axis=0
@@ -191,12 +269,22 @@ class ExperimentResult:
 
     def group_std_series(self) -> Dict[Race, np.ndarray]:
         """Return, per race, the across-trial standard deviation of ``ADR_s(k)``."""
+        if not self.trials:
+            return self._require_moments().std_series()
         return {
             race: np.std(
                 [trial.group_default_rates[race] for trial in self.trials], axis=0
             )
             for race in Race
         }
+
+    def _require_moments(self) -> GroupSeriesMoments:
+        if self.group_moments is None or self.group_moments.num_trials == 0:
+            raise ValueError(
+                "this ExperimentResult retains neither per-trial series nor "
+                "accumulated group moments"
+            )
+        return self.group_moments
 
     def stacked_user_series(self) -> np.ndarray:
         """Return all user-wise ADR series stacked as ``(trials * users, steps)``.
@@ -221,6 +309,8 @@ def run_trial(
     terms: MortgageTerms | None = None,
     income_table: IncomeTable | None = None,
     history_mode: str | None = None,
+    num_shards: int | None = None,
+    shard_parallel: bool | None = None,
 ) -> TrialResult:
     """Run one trial of the case study.
 
@@ -243,10 +333,19 @@ def run_trial(
         streaming group-level series instead of materialising the
         ``(steps, users)`` history; the group series are bit-identical to
         the full-history path.
+    num_shards, shard_parallel:
+        Intra-trial sharded-execution overrides (``None`` defers to the
+        config).  The trajectory is bit-identical for every worker count,
+        serial or pooled: the random schedule depends only on the
+        population's canonical shard partition and the trial seed.
     """
     mode = config.history_mode if history_mode is None else history_mode
     if mode not in ("full", "aggregate"):
         raise ValueError(f'history_mode must be "full" or "aggregate", got {mode!r}')
+    shards = config.num_shards if num_shards is None else num_shards
+    pooled = config.shard_parallel if shard_parallel is None else bool(shard_parallel)
+    if shards <= 0:
+        raise ValueError("num_shards must be positive")
     factory = policy_factory or default_policy_factory
     trial_seed = derive_seed(config.seed, "trial", trial_index)
     rng = np.random.default_rng(trial_seed)
@@ -270,17 +369,28 @@ def run_trial(
         population=population,
         loop_filter=DefaultRateFilter(num_users=config.num_users),
     )
+    # The trial seed itself is the base of the shard streams (the
+    # population generation above consumed an unrelated generator); an
+    # integer base is what lets pooled workers re-derive any shard's stream
+    # without shipping generator state.
     if mode == "aggregate":
         history = loop.run(
             config.num_steps,
-            rng=rng,
+            rng=trial_seed,
             history_mode="aggregate",
             groups=population.groups,
+            num_shards=shards,
+            shard_parallel=pooled,
         )
         user_rates = None
         group_rates = history.group_default_rate_series()
     else:
-        history = loop.run(config.num_steps, rng=rng)
+        history = loop.run(
+            config.num_steps,
+            rng=trial_seed,
+            num_shards=shards,
+            shard_parallel=pooled,
+        )
         user_rates = history.running_default_rates()
         group_rates = group_average_series(user_rates, population.groups)
     return TrialResult(
@@ -300,10 +410,21 @@ def _run_trial_task(
         MortgageTerms | None,
         IncomeTable | None,
         str | None,
+        int | None,
+        bool | None,
     ]
 ) -> TrialResult:
     """Executor entry point: run one trial from a pickled argument tuple."""
-    config, trial_index, policy_factory, terms, income_table, history_mode = payload
+    (
+        config,
+        trial_index,
+        policy_factory,
+        terms,
+        income_table,
+        history_mode,
+        num_shards,
+        shard_parallel,
+    ) = payload
     return run_trial(
         config,
         trial_index=trial_index,
@@ -311,6 +432,8 @@ def _run_trial_task(
         terms=terms,
         income_table=income_table,
         history_mode=history_mode,
+        num_shards=num_shards,
+        shard_parallel=shard_parallel,
     )
 
 
@@ -330,6 +453,9 @@ def run_experiment(
     parallel: bool | None = None,
     max_workers: int | None = None,
     history_mode: str | None = None,
+    num_shards: int | None = None,
+    shard_parallel: bool | None = None,
+    keep_trials: bool = True,
 ) -> ExperimentResult:
     """Run all trials of the case study and return the aggregate result.
 
@@ -351,30 +477,66 @@ def run_experiment(
     max_workers:
         Worker cap for the parallel path; ``None`` defers to
         ``config.max_workers`` (and from there to the CPU count).
+    num_shards, shard_parallel:
+        Intra-trial sharded-execution overrides forwarded to every trial
+        (``None`` defers to the config); bit-identical for every setting.
+        When trial-level parallelism is active, each trial worker applies
+        its shard settings inside its own process (nested shard pools fall
+        back to the serial shard path on platforms that forbid them —
+        still bit-identical).
+    keep_trials:
+        Retain the per-trial results on the returned
+        :class:`ExperimentResult` (default).  ``False`` drops each trial
+        after folding its group series into the online
+        :class:`GroupSeriesMoments`, so experiments with very large trial
+        counts keep ``O(steps * groups)`` memory; per-trial accessors
+        (``trials``, ``stacked_user_series``) are then unavailable.
     """
     use_parallel = config.parallel if parallel is None else bool(parallel)
     workers = config.max_workers if max_workers is None else max_workers
     if workers is not None and workers <= 0:
         raise ValueError("max_workers must be positive when given")
     worker_count = min(config.num_trials, workers or os.cpu_count() or 1)
+    moments = GroupSeriesMoments()
     trials: List[TrialResult] | None = None
     if use_parallel and config.num_trials > 1 and worker_count > 1:
         trials = _try_run_trials_in_processes(
-            config, policy_factory, terms, income_table, worker_count, history_mode
+            config,
+            policy_factory,
+            terms,
+            income_table,
+            worker_count,
+            history_mode,
+            num_shards,
+            shard_parallel,
+            moments,
+            keep_trials,
         )
     if trials is None:
-        trials = [
-            run_trial(
+        moments = GroupSeriesMoments()
+        trials = []
+        for trial_index in range(config.num_trials):
+            trial = run_trial(
                 config,
                 trial_index=trial_index,
                 policy_factory=policy_factory,
                 terms=terms,
                 income_table=income_table,
                 history_mode=history_mode,
+                num_shards=num_shards,
+                shard_parallel=shard_parallel,
             )
-            for trial_index in range(config.num_trials)
-        ]
-    return ExperimentResult(config=config, trials=tuple(trials))
+            moments.update(trial.group_default_rates)
+            if keep_trials:
+                trials.append(trial)
+    return ExperimentResult(
+        config=config,
+        trials=tuple(trials),
+        group_moments=moments,
+        resolved_history_mode=(
+            config.history_mode if history_mode is None else history_mode
+        ),
+    )
 
 
 def _try_run_trials_in_processes(
@@ -384,6 +546,10 @@ def _try_run_trials_in_processes(
     income_table: IncomeTable | None,
     workers: int,
     history_mode: str | None = None,
+    num_shards: int | None = None,
+    shard_parallel: bool | None = None,
+    moments: GroupSeriesMoments | None = None,
+    keep_trials: bool = True,
 ) -> List[TrialResult] | None:
     """Run the trials on a process pool, or return ``None`` for serial fallback.
 
@@ -394,13 +560,28 @@ def _try_run_trials_in_processes(
     the plain serial loop instead — bit-identical either way.
     """
     payloads = [
-        (config, trial_index, policy_factory, terms, income_table, history_mode)
+        (
+            config,
+            trial_index,
+            policy_factory,
+            terms,
+            income_table,
+            history_mode,
+            num_shards,
+            shard_parallel,
+        )
         for trial_index in range(config.num_trials)
     ]
     if not _is_picklable(payloads[0]):
         return None
+    trials: List[TrialResult] = []
     try:
         with ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(_run_trial_task, payloads))
+            for trial in executor.map(_run_trial_task, payloads):
+                if moments is not None:
+                    moments.update(trial.group_default_rates)
+                if keep_trials:
+                    trials.append(trial)
+            return trials
     except (pickle.PicklingError, BrokenProcessPool):
         return None

@@ -248,11 +248,38 @@ class SignalDependentIFS:
         )
         return next_state, action
 
+    def structural_key(self) -> tuple:
+        """Return a hashable key identifying the user's exact step arithmetic.
+
+        Two users with equal keys make bit-identical transitions for every
+        ``(state, signal, uniform draws)`` triple: their probability
+        callables are the *same objects* and their maps are structurally
+        equal (see :meth:`repro.markov.maps.AffineMap.structural_key`).
+        Distinct-but-structurally-equal users can therefore share one
+        vectorized batch in
+        :class:`~repro.core.population.IFSPopulation.respond`.  Maps
+        without a ``structural_key`` hook compare by identity.
+        """
+
+        def map_key(state_map: StateMap) -> tuple:
+            key = getattr(state_map, "structural_key", None)
+            if key is not None:
+                return key()
+            return ("opaque", id(state_map))
+
+        return (
+            id(self.transition_probabilities),
+            id(self.output_probabilities),
+            tuple(map_key(state_map) for state_map in self.transition_maps),
+            tuple(map_key(state_map) for state_map in self.output_maps),
+        )
+
     def step_batch(
         self,
         states: np.ndarray,
         signals: np.ndarray,
         rng: int | np.random.Generator | None = None,
+        uniforms: np.ndarray | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance a whole batch of i.i.d. copies of this user in one step.
 
@@ -269,8 +296,14 @@ class SignalDependentIFS:
         ``Generator.choice``'s cumulative-probability inversion, and
         affine maps apply via a batched matmul whose rows equal the
         per-vector product.
+
+        ``uniforms`` optionally supplies the ``(batch, 2)`` pre-drawn
+        uniforms instead of consuming ``rng``.  A mixed population draws
+        one ``(users, 2)`` block per step in user order — the exact
+        sequence the per-user loop would consume — and hands each
+        structural group its rows, so heterogeneous batching stays on the
+        same random stream as the reference loop.
         """
-        generator = spawn_generator(rng)
         batch = np.atleast_2d(np.asarray(states, dtype=float))
         count = batch.shape[0]
         signal_array = np.broadcast_to(
@@ -279,7 +312,12 @@ class SignalDependentIFS:
             else np.asarray([signals], dtype=float),
             (count,),
         )
-        uniforms = generator.random((count, 2))
+        if uniforms is None:
+            uniforms = spawn_generator(rng).random((count, 2))
+        else:
+            uniforms = np.asarray(uniforms, dtype=float)
+            if uniforms.shape != (count, 2):
+                raise ValueError("uniforms must have shape (batch, 2)")
         output_indices = np.empty(count, dtype=np.intp)
         transition_indices = np.empty(count, dtype=np.intp)
         for value in np.unique(signal_array):

@@ -69,6 +69,20 @@ class AffineMap:
         batch = np.atleast_2d(np.asarray(states, dtype=float))
         return (self.matrix[None, :, :] @ batch[:, :, None])[:, :, 0] + self.offset
 
+    def structural_key(self) -> tuple:
+        """Return a hashable key identifying the map's exact arithmetic.
+
+        Two affine maps with equal keys apply identically to every state
+        (same shapes, same float contents), so distinct-but-equal instances
+        can share one vectorized batch in the IFS population.
+        """
+        return (
+            "affine",
+            self.matrix.shape,
+            self.matrix.tobytes(),
+            self.offset.tobytes(),
+        )
+
     def lipschitz_constant(self) -> float:
         """Return the spectral norm of ``A`` (the map's Lipschitz constant)."""
         return float(np.linalg.norm(self.matrix, ord=2))
@@ -108,6 +122,15 @@ class FunctionMap:
         """
         batch = np.atleast_2d(np.asarray(states, dtype=float))
         return np.stack([self(batch[index]) for index in range(batch.shape[0])])
+
+    def structural_key(self) -> tuple:
+        """Return a hashable key identifying the map's exact arithmetic.
+
+        Arbitrary callables can only be compared by identity, so two
+        :class:`FunctionMap` instances share a key exactly when they wrap
+        the *same* function object.
+        """
+        return ("function", id(self.function))
 
     def lipschitz_constant(self) -> float | None:
         """Return the declared Lipschitz bound, or ``None`` when unknown."""

@@ -14,7 +14,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["derive_seed", "spawn_generator", "spawn_generators"]
+__all__ = [
+    "derive_seed",
+    "spawn_generator",
+    "spawn_generators",
+    "shard_seed",
+    "shard_step_generator",
+]
 
 _MAX_SEED = 2**63 - 1
 
@@ -59,6 +65,35 @@ def spawn_generator(seed: int | np.random.Generator | None) -> np.random.Generat
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Return the seed of user-shard ``shard``'s independent stream.
+
+    The sharded engine partitions every population into the *canonical*
+    shards of :class:`repro.core.sharding.ShardPlan` and gives shard ``s``
+    the stream rooted at ``derive_seed(seed, "shard", s)``.  The derivation
+    depends only on the trial's base seed and the shard index — never on how
+    many workers execute the shards — which is what makes sharded runs
+    bit-identical for any worker count.
+    """
+    return derive_seed(seed, "shard", shard)
+
+
+def shard_step_generator(
+    seed: int, shard: int, step: int
+) -> np.random.Generator:
+    """Return the generator driving shard ``shard`` at time step ``step``.
+
+    The stream is *stateless* across steps: the generator for ``(shard,
+    step)`` is freshly derived as ``derive_seed(shard_seed(seed, shard),
+    "step", step)``, so a worker can reproduce any shard's draws for any
+    step from the base seed alone — no generator state ever needs to be
+    shipped between processes, and chunked runs replay the exact stream of
+    a single run.  Within one step the population consumes the generator
+    sequentially (``begin_step`` first, then ``respond``).
+    """
+    return np.random.default_rng(derive_seed(shard_seed(seed, shard), "step", step))
 
 
 def spawn_generators(

@@ -94,7 +94,10 @@ class TestImpactSteeringPolicy:
         np.testing.assert_array_equal(policy.last_boost, [0.0, 0.0])
 
     def test_steering_reduces_the_final_user_spread_in_the_loop(self):
-        config = CaseStudyConfig(num_users=150, num_trials=1, seed=17)
+        # The max-min spread of the quantized ADR values is noisy at small
+        # populations (single users move it by 1/steps), so the assertion
+        # runs at 400 users where the steering effect dominates the noise.
+        config = CaseStudyConfig(num_users=400, num_trials=1, seed=17)
         plain = run_trial(config, trial_index=0)
         steered = run_trial(
             config,

@@ -143,3 +143,51 @@ class TestGenericLoop:
         assert history.num_steps == 4
         observation = history.records[-1].observation
         assert "average_action" in observation
+
+
+class TestStreamBaseResolution:
+    """Fresh runs re-resolve randomness; only continuations reuse the base."""
+
+    def _build(self):
+        from repro.core.ai_system import CreditScoringSystem
+        from repro.core.filters import DefaultRateFilter
+        from repro.core.population import CreditPopulation
+        from repro.credit.lender import Lender
+        from repro.data.synthetic import PopulationSpec, generate_population
+
+        population = CreditPopulation(
+            population=generate_population(
+                PopulationSpec(size=30), np.random.default_rng(0)
+            )
+        )
+        return ClosedLoop(
+            ai_system=CreditScoringSystem(Lender(warm_up_rounds=2)),
+            population=population,
+            loop_filter=DefaultRateFilter(num_users=30),
+        )
+
+    def test_repeated_entropy_steps_are_independent(self):
+        loop = self._build()
+        first = loop.step(0)
+        second = loop.step(0)
+        assert not np.array_equal(
+            first.public_features["income"], second.public_features["income"]
+        )
+
+    def test_fresh_runs_with_a_generator_are_independent(self):
+        generator = np.random.default_rng(12)
+        loop = self._build()
+        first = loop.run(3, rng=generator)
+        second = self._build().run(3, rng=generator)
+        assert not np.array_equal(
+            first.public_feature_matrix("income"),
+            second.public_feature_matrix("income"),
+        )
+
+    def test_integer_seed_always_resets_the_base(self):
+        first = self._build().run(3, rng=5)
+        second = self._build().run(3, rng=5)
+        assert np.array_equal(
+            first.public_feature_matrix("income"),
+            second.public_feature_matrix("income"),
+        )

@@ -1,0 +1,150 @@
+"""Unit tests for the canonical shard plans behind intra-trial sharding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import CreditPopulation, IFSPopulation
+from repro.core.sharding import (
+    NUM_CANONICAL_SHARDS,
+    PopulationShard,
+    ShardPlan,
+    shard_population,
+)
+from repro.data.synthetic import PopulationSpec, generate_population
+from repro.markov.ifs import SignalDependentIFS
+from repro.markov.maps import AffineMap
+from repro.utils.rng import derive_seed, shard_seed, shard_step_generator
+
+
+class TestShardPlan:
+    def test_canonical_caps_at_population_size(self):
+        assert ShardPlan.canonical(3).num_shards == 3
+        assert ShardPlan.canonical(1000).num_shards == NUM_CANONICAL_SHARDS
+
+    def test_canonical_is_contiguous_and_covering(self):
+        plan = ShardPlan.canonical(1003)
+        assert plan.bounds[0][0] == 0
+        assert plan.bounds[-1][1] == 1003
+        for (_, hi), (lo, _) in zip(plan.bounds, plan.bounds[1:]):
+            assert hi == lo
+        assert sum(plan.sizes) == 1003
+
+    def test_canonical_matches_array_split_sizing(self):
+        plan = ShardPlan.canonical(1003)
+        expected = [len(chunk) for chunk in np.array_split(np.arange(1003), 8)]
+        assert list(plan.sizes) == expected
+
+    def test_single_plan(self):
+        plan = ShardPlan.single(17)
+        assert plan.bounds == ((0, 17),)
+
+    def test_validation_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ShardPlan(num_users=10, bounds=((0, 5), (6, 10)))  # gap
+        with pytest.raises(ValueError):
+            ShardPlan(num_users=10, bounds=((0, 5), (5, 9)))  # short
+        with pytest.raises(ValueError):
+            ShardPlan(num_users=10, bounds=((0, 5), (5, 5), (5, 10)))  # empty
+        with pytest.raises(ValueError):
+            ShardPlan(num_users=0, bounds=())
+
+    def test_worker_ranges_cover_all_shards(self):
+        plan = ShardPlan.canonical(100)
+        for workers in (1, 2, 3, 8, 20):
+            ranges = plan.worker_ranges(workers)
+            assert len(ranges) == min(workers, plan.num_shards)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == plan.num_shards
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start
+
+    def test_localized_rebases_bounds(self):
+        plan = ShardPlan.canonical(100)
+        local = plan.localized(2, 5)
+        assert local.bounds[0][0] == 0
+        assert local.num_users == plan.user_range(2, 5)[1] - plan.user_range(2, 5)[0]
+        assert local.num_shards == 3
+
+    def test_slices_match_bounds(self):
+        plan = ShardPlan.canonical(30)
+        joined = np.concatenate([np.arange(30)[s] for s in plan.slices()])
+        assert np.array_equal(joined, np.arange(30))
+
+
+class TestShardStreams:
+    def test_shard_seed_matches_derive_seed_labels(self):
+        assert shard_seed(123, 4) == derive_seed(123, "shard", 4)
+
+    def test_step_generators_are_stateless_and_reproducible(self):
+        a = shard_step_generator(9, 2, 7).random(5)
+        b = shard_step_generator(9, 2, 7).random(5)
+        assert np.array_equal(a, b)
+        c = shard_step_generator(9, 2, 8).random(5)
+        assert not np.array_equal(a, c)
+
+
+class TestShardPopulationHelper:
+    def _population(self, size=100):
+        return CreditPopulation(
+            population=generate_population(
+                PopulationSpec(size=size), np.random.default_rng(0)
+            )
+        )
+
+    def test_shards_cover_the_population(self):
+        population = self._population()
+        shards = shard_population(population, 3)
+        assert all(isinstance(shard, PopulationShard) for shard in shards)
+        assert shards[0].lo == 0
+        assert shards[-1].hi == population.num_users
+        covered = sorted(
+            shard_id for shard in shards for shard_id in shard.shard_ids
+        )
+        assert covered == list(range(population.shard_plan.num_shards))
+
+    def test_credit_shard_slice_replays_parent_draws(self):
+        population = self._population()
+        plan = population.shard_plan
+        rngs = [shard_step_generator(5, s, 0) for s in range(plan.num_shards)]
+        full = population.begin_step(0, rngs)["income"]
+        shard = shard_population(population, 4)[1]
+        worker_rngs = [
+            shard_step_generator(5, s, 0) for s in shard.shard_ids
+        ]
+        piece = shard.population.begin_step(0, worker_rngs)["income"]
+        assert np.array_equal(full[shard.lo : shard.hi], piece)
+
+    def test_shard_slice_rejects_unaligned_ranges(self):
+        population = self._population()
+        with pytest.raises(ValueError):
+            population.shard_slice(1, population.num_users)
+
+    def test_ifs_shard_slice_replays_parent_draws(self):
+        shared = SignalDependentIFS(
+            transition_maps=(AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, 0.5)),
+            transition_probabilities=lambda s: [0.8, 0.2] if s > 0.5 else [0.3, 0.7],
+            output_maps=(AffineMap.scalar(1.0, 0.0), AffineMap.scalar(0.0, 1.0)),
+            output_probabilities=lambda s: [0.6, 0.4] if s > 0.5 else [0.1, 0.9],
+        )
+        n = 64
+        states = [np.array([0.01 * i]) for i in range(n)]
+        decisions = (np.arange(n) % 2).astype(float)
+
+        full = IFSPopulation(users=[shared] * n, initial_states=states)
+        plan = full.shard_plan
+        rngs = [shard_step_generator(3, s, 0) for s in range(plan.num_shards)]
+        full_actions = full.respond(decisions, 0, rngs)
+
+        lo, hi = plan.bounds[1][0], plan.bounds[3][1]
+        worker = IFSPopulation(
+            users=[shared] * n, initial_states=states
+        ).shard_slice(lo, hi)
+        worker_rngs = [shard_step_generator(3, s, 0) for s in (1, 2, 3)]
+        worker_actions = worker.respond(decisions[lo:hi], 0, worker_rngs)
+        assert np.array_equal(full_actions[lo:hi], worker_actions)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(full.states[lo:hi], worker.states)
+        )

@@ -8,7 +8,7 @@ import pytest
 from repro.baselines import UniformLimitPolicy
 from repro.credit.mortgage import MortgageTerms
 from repro.data.census import Race
-from repro.experiments.runner import run_experiment, run_trial
+from repro.experiments.runner import ExperimentResult, run_experiment, run_trial
 
 
 class TestRunTrial:
@@ -89,3 +89,74 @@ class TestRunExperiment:
         np.testing.assert_array_equal(
             first.stacked_user_series(), second.stacked_user_series()
         )
+
+
+class TestGroupSeriesMoments:
+    """Across-trial group statistics stream online (Welford) per trial."""
+
+    def test_moments_match_batch_statistics(self, small_config):
+        from repro.data.census import Race
+
+        result = run_experiment(small_config)
+        assert result.group_moments is not None
+        assert result.group_moments.num_trials == small_config.num_trials
+        batch_mean = result.group_mean_series()
+        batch_std = result.group_std_series()
+        online_mean = result.group_moments.mean_series()
+        online_std = result.group_moments.std_series()
+        for race in Race:
+            np.testing.assert_allclose(
+                batch_mean[race], online_mean[race], rtol=1e-12, atol=1e-15
+            )
+            np.testing.assert_allclose(
+                batch_std[race], online_std[race], rtol=1e-9, atol=1e-12
+            )
+
+    def test_keep_trials_false_drops_series_but_keeps_statistics(
+        self, small_config
+    ):
+        from repro.data.census import Race
+
+        full = run_experiment(small_config)
+        slim = run_experiment(small_config, keep_trials=False)
+        assert slim.trials == ()
+        assert slim.history_mode == small_config.history_mode
+        for race in Race:
+            np.testing.assert_allclose(
+                full.group_mean_series()[race],
+                slim.group_mean_series()[race],
+                rtol=1e-12,
+                atol=1e-15,
+            )
+        with pytest.raises(ValueError):
+            ExperimentResult(config=small_config, trials=()).group_mean_series()
+
+    def test_fig3_runs_from_a_trial_free_experiment(self, small_config):
+        from repro.experiments.fig3_race_adr import fig3_race_adr
+
+        slim = run_experiment(small_config, keep_trials=False)
+        figure = fig3_race_adr(result=slim)
+        assert figure.years == small_config.years
+        assert np.isfinite(figure.final_gap)
+
+    def test_moments_update_requires_trials(self):
+        from repro.experiments.runner import GroupSeriesMoments
+
+        moments = GroupSeriesMoments()
+        with pytest.raises(ValueError):
+            moments.mean_series()
+
+    def test_keep_trials_false_keeps_the_resolved_history_mode(self, small_config):
+        slim = run_experiment(
+            small_config, history_mode="aggregate", keep_trials=False
+        )
+        assert slim.history_mode == "aggregate"
+
+    def test_fig4_rejects_trial_free_experiments(self, small_config):
+        from repro.experiments.fig4_user_adr import fig4_user_adr
+
+        slim = run_experiment(
+            small_config, history_mode="aggregate", keep_trials=False
+        )
+        with pytest.raises(ValueError, match="keep_trials=True"):
+            fig4_user_adr(result=slim)

@@ -6,10 +6,13 @@ series the paper's figures consume has to be *bit-identical* to the
 full-history path.  This suite pins that claim at two scales:
 
 * the small scale of ``test_engine_equivalence.py`` (200 users, 2 trials),
-  where the aggregate-mode group series must also reproduce the seed
-  engine's golden SHA-256 digests (``SEED_GOLDEN`` — extended here to the
-  streaming path, three engine generations pinned to one set of hashes);
-* the paper scale (1000 users, 5 trials) of Figures 3-5.
+  where the aggregate-mode group series must also reproduce the sharded
+  engine's golden SHA-256 digests (``ENGINE_GOLDEN`` — extended here to
+  the streaming path, so full, aggregate and sharded execution pin to one
+  set of hashes);
+* the paper scale (1000 users, 5 trials) of Figures 3-5 — including the
+  fig5 density, which aggregate mode now reconstructs bit-identically from
+  the streaming per-step rate histograms.
 
 Also covered: the figure drivers end-to-end in aggregate mode, the clear
 ``FullHistoryRequiredError`` surface for per-user accessors, parallel
@@ -30,7 +33,7 @@ from repro.experiments.fig4_user_adr import fig4_user_adr
 from repro.experiments.fig5_density import fig5_density
 from repro.experiments.runner import run_experiment, run_trial
 
-from tests.experiments.test_engine_equivalence import SEED_GOLDEN, digest
+from tests.experiments.test_engine_equivalence import ENGINE_GOLDEN, digest
 
 
 @pytest.fixture(scope="module")
@@ -98,13 +101,13 @@ class TestSmallScaleEquivalence:
     def test_group_series_bit_identical(self, full_small, aggregate_small):
         assert_group_series_bit_identical(full_small, aggregate_small)
 
-    def test_aggregate_mode_reproduces_seed_goldens(self, aggregate_small):
-        """The streaming group series hash to the seed engine's goldens.
+    def test_aggregate_mode_reproduces_engine_goldens(self, aggregate_small):
+        """The streaming group series hash to the engine's pinned goldens.
 
-        ``SEED_GOLDEN`` was captured from the seed (record-of-dicts) engine
-        and already pins the columnar engine; asserting the same digests
-        against the streaming path extends the pin across all three engine
-        generations.
+        ``ENGINE_GOLDEN`` pins the sharded full-history engine; asserting
+        the same digests against the streaming path extends the pin across
+        both recording modes (and, via ``test_shard_equivalence.py``, every
+        pooled execution layout).
         """
         observed = {}
         for index, trial in enumerate(aggregate_small.trials):
@@ -120,7 +123,7 @@ class TestSmallScaleEquivalence:
             )
         expected = {
             key: value
-            for key, value in SEED_GOLDEN.items()
+            for key, value in ENGINE_GOLDEN.items()
             if "_group_" in key or key.endswith(("_approvals", "_portfolio"))
         }
         assert observed == expected
@@ -208,9 +211,26 @@ class TestAggregateModeSurface:
         with pytest.raises(FullHistoryRequiredError):
             aggregate_small.stacked_user_series()
 
-    def test_fig5_requires_full_history(self, aggregate_small):
-        with pytest.raises(FullHistoryRequiredError):
-            fig5_density(result=aggregate_small)
+    def test_fig5_bit_identical_across_modes(self, full_small, aggregate_small):
+        """fig5 now runs in aggregate mode: pooled integer histograms.
+
+        Counts are integers, so the streamed density equals the
+        full-history histogram of the concatenated user stack bit for bit.
+        """
+        full_figure = fig5_density(result=full_small)
+        aggregate_figure = fig5_density(result=aggregate_small)
+        assert np.array_equal(full_figure.bin_edges, aggregate_figure.bin_edges)
+        assert np.array_equal(full_figure.density, aggregate_figure.density)
+        assert np.array_equal(
+            full_figure.modal_bin_centers, aggregate_figure.modal_bin_centers
+        )
+        assert np.array_equal(
+            full_figure.mass_below_010, aggregate_figure.mass_below_010
+        )
+
+    def test_fig5_aggregate_rejects_mismatched_binning(self, aggregate_small):
+        with pytest.raises(ValueError, match="rate histograms"):
+            fig5_density(result=aggregate_small, num_bins=33)
 
     def test_error_message_names_the_knob(self, aggregate_small):
         with pytest.raises(FullHistoryRequiredError, match='history_mode="full"'):
@@ -276,7 +296,7 @@ class TestAggregateParallelAndChunked:
         rng_chunks = np.random.default_rng(77)
         loop = build_loop(1)
         history = loop.run(4, rng=rng_chunks, history_mode="aggregate", groups=groups)
-        history = loop.run(6, rng=rng_chunks, history=history)
+        history = loop.run(6, history=history)
 
         assert history.num_steps == whole.num_steps == 10
         assert np.array_equal(whole.approval_rates(), history.approval_rates())

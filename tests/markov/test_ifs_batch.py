@@ -185,3 +185,79 @@ class TestPopulationBatchPath:
         states = population.states
         states[0][0] = 99.0
         assert population.states[0][0] == pytest.approx(0.3)
+
+
+def _shared_transition_probabilities(signal):
+    return [0.8, 0.2] if signal > 0.5 else [0.3, 0.7]
+
+
+def _shared_output_probabilities(signal):
+    return [0.6, 0.4] if signal > 0.5 else [0.1, 0.9]
+
+
+def structural_user(shift: float) -> SignalDependentIFS:
+    """A user built from *fresh* map objects but shared probability functions."""
+    return SignalDependentIFS(
+        transition_maps=(AffineMap.scalar(0.5, 0.0), AffineMap.scalar(0.5, shift)),
+        transition_probabilities=_shared_transition_probabilities,
+        output_maps=(AffineMap.scalar(1.0, 0.0), AffineMap.scalar(0.0, 1.0)),
+        output_probabilities=_shared_output_probabilities,
+    )
+
+
+class TestStructuralBatching:
+    """Distinct-but-structurally-equal users share one vectorized batch."""
+
+    def test_structural_key_groups_equal_users(self):
+        assert structural_user(0.5).structural_key() == structural_user(0.5).structural_key()
+        assert structural_user(0.5).structural_key() != structural_user(0.25).structural_key()
+
+    def test_mixed_population_batches_and_matches_per_user_loop(self):
+        count = 90
+        # Two structural kinds, every instance distinct, interleaved 2:1.
+        users = [structural_user(0.5 if i % 3 else 0.25) for i in range(count)]
+        initial = [np.array([0.01 * (i % 11)]) for i in range(count)]
+        batched = IFSPopulation(users=list(users), initial_states=initial)
+        assert batched._state_matrix is not None  # mixed populations batch now
+        assert len(batched._batch_groups) == 2
+
+        looped = IFSPopulation(
+            users=list(users), initial_states=initial, vectorize=False
+        )
+        gen_batch = np.random.default_rng(21)
+        gen_loop = np.random.default_rng(21)
+        decisions = (np.arange(count) % 2).astype(float)
+        for k in range(8):
+            actions_batch = batched.respond(decisions, k, gen_batch)
+            actions_loop = looped.respond(decisions, k, gen_loop)
+            assert np.array_equal(actions_batch, actions_loop)
+        assert np.array_equal(np.stack(batched.states), np.stack(looped.states))
+
+    def test_population_without_sharing_stays_on_the_loop_path(self):
+        # Fresh lambdas per user: no two users share a structural key, so
+        # batching would degenerate to one-row batches; the loop path wins.
+        population = IFSPopulation(
+            users=[affine_user() for _ in range(5)],
+            initial_states=[np.array([0.1 * i]) for i in range(5)],
+        )
+        assert population._state_matrix is None
+
+    def test_pre_drawn_uniforms_match_internal_draws(self):
+        user = structural_user(0.5)
+        states = np.linspace(0.0, 1.0, 12)[:, None]
+        signals = (np.arange(12) % 2).astype(float)
+        gen_a = np.random.default_rng(4)
+        gen_b = np.random.default_rng(4)
+        internal = user.step_batch(states, signals, gen_a)
+        external = user.step_batch(
+            states, signals, uniforms=gen_b.random((12, 2))
+        )
+        assert np.array_equal(internal[0], external[0])
+        assert np.array_equal(internal[1], external[1])
+
+    def test_uniforms_shape_is_validated(self):
+        user = structural_user(0.5)
+        with pytest.raises(ValueError):
+            user.step_batch(
+                np.zeros((3, 1)), np.zeros(3), uniforms=np.zeros((2, 2))
+            )

@@ -1,0 +1,154 @@
+"""Hypothesis properties of the sharded execution layer.
+
+Three families of invariants:
+
+* :class:`~repro.core.sharding.ShardPlan` partitions are disjoint,
+  covering and order-preserving for any population size, and worker
+  assignments group the shards contiguously for any worker count;
+* a :class:`~repro.core.filters.DefaultRateFilter` split into per-shard
+  filters and merged back reports *exactly* the unsharded observation on
+  any 0/1 decision/action stream (offers and repayments are integer
+  counts);
+* the sharded :class:`~repro.core.population.CreditPopulation` draw is
+  shard-local: slicing the population at shard boundaries and replaying
+  the same shard streams reproduces the parent's incomes bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import DefaultRateFilter
+from repro.core.sharding import ShardPlan
+from repro.core.population import CreditPopulation
+from repro.data.synthetic import PopulationSpec, generate_population
+from repro.utils.rng import shard_step_generator
+
+
+@st.composite
+def plans(draw):
+    num_users = draw(st.integers(min_value=1, max_value=5000))
+    if draw(st.booleans()):
+        return ShardPlan.canonical(num_users)
+    num_shards = draw(st.integers(min_value=1, max_value=min(16, num_users)))
+    return ShardPlan.with_shards(num_users, num_shards)
+
+
+class TestShardPlanProperties:
+    @given(plan=plans())
+    @settings(max_examples=80, deadline=None)
+    def test_partition_is_disjoint_covering_order_preserving(self, plan):
+        seen = np.concatenate(
+            [np.arange(lo, hi) for lo, hi in plan.bounds]
+        )
+        # Order-preserving concatenation of disjoint ranges == identity.
+        assert np.array_equal(seen, np.arange(plan.num_users))
+        assert all(hi > lo for lo, hi in plan.bounds)
+
+    @given(plan=plans(), workers=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=80, deadline=None)
+    def test_worker_ranges_partition_the_shards(self, plan, workers):
+        ranges = plan.worker_ranges(workers)
+        covered = np.concatenate(
+            [np.arange(start, stop) for start, stop in ranges]
+        )
+        assert np.array_equal(covered, np.arange(plan.num_shards))
+        # Each worker's user range is the contiguous union of its shards.
+        for start, stop in ranges:
+            lo, hi = plan.user_range(start, stop)
+            assert lo == plan.bounds[start][0]
+            assert hi == plan.bounds[stop - 1][1]
+
+    @given(plan=plans())
+    @settings(max_examples=50, deadline=None)
+    def test_localized_plans_rebase_to_zero(self, plan):
+        for start, stop in plan.worker_ranges(3):
+            local = plan.localized(start, stop)
+            assert local.bounds[0][0] == 0
+            assert local.sizes == plan.sizes[start:stop]
+
+
+class TestShardedFilterProperties:
+    @given(
+        num_users=st.integers(min_value=2, max_value=60),
+        num_steps=st.integers(min_value=1, max_value=8),
+        num_shards=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        prior=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_filters_merge_to_the_unsharded_state(
+        self, num_users, num_steps, num_shards, seed, prior
+    ):
+        plan = ShardPlan.with_shards(num_users, min(num_shards, num_users))
+        rng = np.random.default_rng(seed)
+        central = DefaultRateFilter(num_users=num_users, prior_rate=prior)
+        shard_filters = [
+            central.shard_slice(lo, hi) for lo, hi in plan.bounds
+        ]
+        for step in range(num_steps):
+            decisions = rng.integers(0, 2, size=num_users).astype(float)
+            actions = (
+                rng.integers(0, 2, size=num_users).astype(float) * decisions
+            )
+            central_obs = central.update(decisions, actions, step)
+            shard_obs = [
+                shard_filter.update(decisions[lo:hi], actions[lo:hi], step)
+                for shard_filter, (lo, hi) in zip(shard_filters, plan.bounds)
+            ]
+            # Concatenated per-shard rates are exactly the central rates.
+            assert np.array_equal(
+                central_obs["user_default_rates"],
+                np.concatenate(
+                    [obs["user_default_rates"] for obs in shard_obs]
+                ),
+            )
+        merged = shard_filters[0]
+        for shard_filter in shard_filters[1:]:
+            merged = merged.merge(shard_filter)
+        merged_obs = merged.observation()
+        central_obs = central.observation()
+        assert np.array_equal(
+            merged_obs["user_default_rates"], central_obs["user_default_rates"]
+        )
+        assert merged_obs["portfolio_rate"] == central_obs["portfolio_rate"]
+        # Round-trip through export_state preserves everything.
+        rebuilt = DefaultRateFilter.from_state(merged.export_state())
+        assert np.array_equal(
+            rebuilt.observation()["user_default_rates"],
+            central_obs["user_default_rates"],
+        )
+
+
+class TestShardedPopulationProperties:
+    @given(
+        size=st.integers(min_value=8, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        step=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_income_draw_is_shard_local(self, size, seed, step):
+        population = CreditPopulation(
+            population=generate_population(
+                PopulationSpec(size=size), np.random.default_rng(seed)
+            )
+        )
+        plan = population.shard_plan
+        rngs = [
+            shard_step_generator(seed, shard, step)
+            for shard in range(plan.num_shards)
+        ]
+        full = population.begin_step(step, rngs)["income"]
+        # Every worker grouping replays its users' slice exactly.
+        for workers in (2, plan.num_shards):
+            for start, stop in plan.worker_ranges(workers):
+                lo, hi = plan.user_range(start, stop)
+                piece = population.shard_slice(lo, hi)
+                piece_rngs = [
+                    shard_step_generator(seed, shard, step)
+                    for shard in range(start, stop)
+                ]
+                incomes = piece.begin_step(step, piece_rngs)["income"]
+                assert np.array_equal(full[lo:hi], incomes)
