@@ -23,6 +23,13 @@ vs. 2 and 8 pooled worker shards at the benchmark scale, all
 bit-identical) together with ``cpu_count``: the pooled layouts only pay
 off on multi-core hosts, so the ratio is meaningless without the core
 count next to it.
+
+Finally the entry records the retrain-mode timings (``measure_retrain``):
+the per-year refit in ``exact`` (row-level IRLS) vs ``compressed``
+(sufficient-statistics count table) mode on a training set captured from a
+real loop step, the unique-row count the compression collapses to, and the
+whole-trial wall clocks per mode — the refit is the central serial phase
+of the sharded runner, so this is the Amdahl number.
 """
 
 from __future__ import annotations
@@ -151,6 +158,56 @@ def measure_sharded(num_users: int) -> dict:
     return timings
 
 
+def measure_retrain(num_users: int) -> dict:
+    """Time the yearly refit: exact row-level IRLS vs sufficient statistics.
+
+    The training set is captured from a real closed-loop step (year ~12 of
+    a full-scale trial), so the timings reflect the label balance, the
+    offered-mask density and — crucially — the degeneracy of the previous
+    average default rates (small-integer ratios) that the compressed mode's
+    count table exploits.  Alongside the isolated refit timings the entry
+    records whole-trial wall clocks per retrain mode: the refit is the
+    dominant serial phase, so the trial ratio is the Amdahl headline.
+    """
+    import retrain_probe
+
+    from repro.experiments.config import CaseStudyConfig
+    from repro.experiments.runner import run_trial
+    from repro.scoring.features import clipped_default_rates, income_code
+    from repro.scoring.suffstats import CompressedDesign
+
+    config = CaseStudyConfig(num_users=num_users, num_trials=1, end_year=2021)
+    timings: dict = {}
+    for key, kwargs in (
+        ("trial_exact_s", dict(retrain_mode="exact")),
+        ("trial_compressed_s", dict(retrain_mode="compressed")),
+        ("trial_compressed_warm_s", dict(retrain_mode="compressed", warm_start=True)),
+    ):
+        start = time.perf_counter()
+        run_trial(config, trial_index=0, **kwargs)
+        timings[key] = round(time.perf_counter() - start, 4)
+    timings["trial_speedup_compressed_x"] = round(
+        timings["trial_exact_s"] / max(timings["trial_compressed_s"], 1e-9), 2
+    )
+
+    rows = retrain_probe.capture_retrain_rows(config)
+    incomes, rates, actions, decisions = rows
+    # Same compression recipe as Lender._retrain_compressed (including the
+    # tolerance clip), so the reported unique-row count is what the timed
+    # refits actually see.
+    table = CompressedDesign.from_arrays(
+        income_code(incomes), clipped_default_rates(rates), actions, offered=decisions
+    )
+    timings["retrain_rows"] = int(decisions.sum())
+    timings["retrain_unique_rows"] = table.num_unique
+    for key, mode in (("retrain_exact_ms", "exact"), ("retrain_compressed_ms", "compressed")):
+        timings[key] = round(retrain_probe.time_retrain(mode, rows) * 1e3, 3)
+    timings["retrain_speedup_x"] = round(
+        timings["retrain_exact_ms"] / max(timings["retrain_compressed_ms"], 1e-9), 1
+    )
+    return timings
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="columnar-engine", help="entry label")
@@ -171,11 +228,18 @@ def main() -> None:
         action="store_true",
         help="skip the sharded-trial layout timings",
     )
+    parser.add_argument(
+        "--skip-retrain",
+        action="store_true",
+        help="skip the retrain-mode (exact vs compressed) timings",
+    )
     args = parser.parse_args()
 
     timings = measure(args.users)
     if not args.skip_sharded:
         timings.update(measure_sharded(args.users))
+    if not args.skip_retrain:
+        timings.update(measure_retrain(args.users))
     memory: dict = {}
     if not args.skip_memory:
         import mem_probe

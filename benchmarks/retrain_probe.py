@@ -1,0 +1,67 @@
+"""Shared retrain-benchmark probes.
+
+Both the persistent recorder (``record_core_bench.py``) and the regression
+gate (``test_bench_perf_engine.py::test_bench_suffstats_retrain``) time the
+yearly refit on the *same* training set, captured from a real closed-loop
+step — so the two can never drift apart and silently measure different
+things.  The capture hooks a :class:`CreditScoringSystem` subclass into a
+full trial and snapshots the delayed-feedback arrays of year ~12, where the
+previous-rate column carries the small-integer-ratio degeneracy the
+sufficient-statistics compression exploits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.ai_system import CreditScoringSystem
+from repro.credit.lender import Lender
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import run_trial
+
+#: The captured retrain inputs: (incomes, previous rates, actions, decisions).
+RetrainRows = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+#: Step whose delayed feedback is captured (year ~12: rates are well mixed).
+CAPTURE_STEP = 12
+
+
+def capture_retrain_rows(config: CaseStudyConfig) -> RetrainRows:
+    """Run one trial and snapshot the refit inputs of ``CAPTURE_STEP``."""
+    captured: dict = {}
+
+    class CapturingSystem(CreditScoringSystem):
+        def update(self, public_features, decisions, actions, observation, k):
+            if k == CAPTURE_STEP:
+                captured["rows"] = (
+                    np.asarray(public_features["income"], float).copy(),
+                    np.asarray(observation["user_default_rates"], float).copy(),
+                    np.asarray(actions, float).copy(),
+                    np.asarray(decisions, float).copy(),
+                )
+            super().update(public_features, decisions, actions, observation, k)
+
+    run_trial(
+        config,
+        trial_index=0,
+        policy_factory=lambda config, population: CapturingSystem(
+            Lender(cutoff=config.cutoff, warm_up_rounds=config.warm_up_rounds)
+        ),
+    )
+    return captured["rows"]
+
+
+def time_retrain(mode: str, rows: RetrainRows, repeats: int = 9) -> float:
+    """Return the median seconds of one ``Lender.retrain`` in ``mode``."""
+    incomes, rates, actions, decisions = rows
+    lender = Lender(retrain_mode=mode)
+    lender.retrain(incomes, rates, actions, offered=decisions)  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        lender.retrain(incomes, rates, actions, offered=decisions)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))

@@ -137,6 +137,47 @@ def test_bench_vectorized_ifs_population():
     assert speedup >= 10.0
 
 
+def test_bench_suffstats_retrain(perf_config):
+    """The sufficient-statistics refit must beat the row-level IRLS.
+
+    The training set is captured from a real loop step (year ~12), so the
+    rate column carries the small-integer-ratio degeneracy the count table
+    collapses.  The required speedup scales with the population: the
+    compression's O(n log n) key sort amortises against the exact path's
+    O(n) *per IRLS iteration*, so the ratio grows with n — >=10x at the
+    full 100k benchmark scale (the acceptance number recorded in
+    ``BENCH_core.json``), >=4x at the scaled-down default.
+    """
+    import retrain_probe
+
+    from repro.credit.lender import Lender
+
+    rows = retrain_probe.capture_retrain_rows(perf_config)
+    incomes, rates, actions, decisions = rows
+    timings = {
+        mode: retrain_probe.time_retrain(mode, rows)
+        for mode in ("exact", "compressed")
+    }
+
+    speedup = timings["exact"] / max(timings["compressed"], 1e-12)
+    print(
+        f"\nretrain exact {timings['exact'] * 1e3:.2f} ms vs compressed "
+        f"{timings['compressed'] * 1e3:.2f} ms ({speedup:.1f}x) at "
+        f"{perf_config.num_users:,} users"
+    )
+    required = 10.0 if perf_config.num_users >= 100_000 else 4.0
+    assert speedup >= required
+
+    # The two modes must agree on what they learned (the equivalence suite
+    # pins the loop-level guarantee; this is the benchmark-side smoke check).
+    exact_card = Lender().retrain(incomes, rates, actions, offered=decisions)
+    compressed_card = Lender(retrain_mode="compressed").retrain(
+        incomes, rates, actions, offered=decisions
+    )
+    for left, right in zip(exact_card.factors, compressed_card.factors):
+        assert abs(left.points - right.points) < 1e-9
+
+
 def _memory_bench_users() -> int:
     return 1_000_000 if os.environ.get("REPRO_FULL_BENCH") == "1" else 150_000
 

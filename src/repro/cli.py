@@ -48,6 +48,8 @@ def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
             history_mode=arguments.history_mode,
             num_shards=arguments.shards,
             shard_parallel=arguments.shard_parallel,
+            retrain_mode=arguments.retrain_mode,
+            warm_start=arguments.warm_start,
         )
     return CaseStudyConfig(
         num_users=arguments.users,
@@ -56,6 +58,8 @@ def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
         history_mode=arguments.history_mode,
         num_shards=arguments.shards,
         shard_parallel=arguments.shard_parallel,
+        retrain_mode=arguments.retrain_mode,
+        warm_start=arguments.warm_start,
     )
 
 
@@ -87,6 +91,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-parallel",
         action="store_true",
         help="execute each trial's worker shards on a process pool",
+    )
+    parser.add_argument(
+        "--retrain-mode",
+        choices=["exact", "compressed"],
+        default="exact",
+        help=(
+            "yearly scorecard refit strategy: 'exact' (default) runs the "
+            "row-level IRLS over every user, reproducing the paper bit for "
+            "bit; 'compressed' deduplicates the degenerate training set "
+            "into a sufficient-statistics count table so each refit costs "
+            "O(unique rows) — coefficients agree to solver tolerance and "
+            "decisions are identical at paper scale"
+        ),
+    )
+    parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help=(
+            "seed each yearly refit at the previous year's parameters "
+            "(fewer Newton iterations; changes the iteration path, not the "
+            "optimum, so it is off by default)"
+        ),
     )
     parser.add_argument(
         "--history-mode",

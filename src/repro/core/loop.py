@@ -40,7 +40,12 @@ trajectories:
   :class:`~repro.core.filters.DefaultRateFilter` pieces (integer count
   state, so the merged observation is exactly the unsharded filter's); at
   the end of the run the worker filters are folded back into the loop's
-  filter with the exact ``DefaultRateFilter.merge``;
+  filter with the exact ``DefaultRateFilter.merge``.  Under
+  sufficient-statistics retraining (``retrain_mode="compressed"`` with a
+  protocol-speaking AI system) even the per-year refit sheds its O(users)
+  central scan: workers compress their training rows into
+  :class:`~repro.scoring.suffstats.CompressedDesign` count tables, which
+  merge by exact integer addition before one O(unique rows) central fit;
 * chunked runs (``run`` called repeatedly with the growing history).
 
 Recording stays in the orchestrator in every mode, so the cross-mode
@@ -70,11 +75,14 @@ from repro.core.history import SimulationHistory, StepRecord
 from repro.core.population import Population
 from repro.core.sharding import PopulationShard, ShardPlan, shard_population
 from repro.core.streaming import AggregateHistory
+from repro.scoring.features import clipped_default_rates, income_code
+from repro.scoring.suffstats import CompressedDesign, merge_tables
 from repro.utils.rng import shard_step_generator, spawn_generator
 
 __all__ = ["ClosedLoop"]
 
 _MAX_SEED = 2**63 - 1
+_RETRAIN_MODES = ("exact", "compressed")
 
 
 def _resolve_population_plan(population) -> Tuple[ShardPlan, bool]:
@@ -104,6 +112,8 @@ def _pool_worker_init(token: str, payload: Dict[str, object]) -> bool:
         "filter": DefaultRateFilter(
             num_users=shard.num_users, prior_rate=payload["prior_rate"]
         ),
+        "suffstats": payload.get("suffstats"),
+        "step_features": {},
         "step_rngs": {},
     }
     return True
@@ -117,17 +127,26 @@ def _pool_worker_begin(token: str, k: int) -> Dict[str, np.ndarray]:
         for shard_id in state["shard_ids"]
     ]
     state["step_rngs"][k] = rngs
-    return state["population"].begin_step(k, rngs)
+    features = state["population"].begin_step(k, rngs)
+    if state["suffstats"] is not None:
+        # The respond phase compresses this step's training rows locally;
+        # stash the feature slice it will need (decide happens centrally,
+        # so the worker never sees it again otherwise).
+        state["step_features"][k] = features
+    return features
 
 
 def _pool_worker_respond(
     token: str, k: int, decisions: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, float, float]:
+) -> Tuple[np.ndarray, np.ndarray, float, float, CompressedDesign | None]:
     """Phase 2 of step ``k``: respond, update the shard filter.
 
-    Returns ``(actions, user_default_rates, offers_total,
-    repayments_total)`` — the pieces the orchestrator needs to assemble the
-    exact global observation.
+    Returns ``(actions, user_default_rates, offers_total, repayments_total,
+    count_table)`` — the pieces the orchestrator needs to assemble the exact
+    global observation, plus (under sufficient-statistics retraining) the
+    shard's compressed training rows: ``(income code, previous rate,
+    repayment)`` of the offered users, built from the *pre-update* shard
+    rates — exactly the delayed feedback the central refit trains on.
     """
     state = _WORKER_STATE[token]
     rngs = state["step_rngs"].pop(k)
@@ -135,6 +154,21 @@ def _pool_worker_respond(
         state["population"].respond(decisions, k, rngs), dtype=float
     ).ravel()
     shard_filter: DefaultRateFilter = state["filter"]
+    table: CompressedDesign | None = None
+    spec = state["suffstats"]
+    if spec is not None:
+        features = state["step_features"].pop(k)
+        previous_rates = np.asarray(
+            shard_filter.observation()["user_default_rates"], dtype=float
+        )
+        table = CompressedDesign.from_arrays(
+            income_code(features[spec["feature"]], spec["income_threshold"]),
+            # Same tolerance-and-clip as the serial retrain routes, so
+            # pooled and serial runs agree on which rates are acceptable.
+            clipped_default_rates(previous_rates),
+            actions,
+            offered=decisions,
+        )
     observation = shard_filter.update(decisions, actions, k)
     tracker = shard_filter.tracker
     return (
@@ -142,6 +176,7 @@ def _pool_worker_respond(
         np.asarray(observation["user_default_rates"], dtype=float),
         float(tracker.offers.sum()),
         float(tracker.repayments.sum()),
+        table,
     )
 
 
@@ -169,6 +204,7 @@ class _ShardWorkerPool:
         base_seed: int,
         prior_rate: float,
         token: str,
+        suffstats_spec: Dict[str, object] | None = None,
     ) -> None:
         self.shards = list(shards)
         self.token = token
@@ -185,6 +221,7 @@ class _ShardWorkerPool:
                         "shard": shard,
                         "base_seed": base_seed,
                         "prior_rate": prior_rate,
+                        "suffstats": suffstats_spec,
                     },
                 )
                 for executor, shard in zip(self._executors, self.shards)
@@ -320,6 +357,7 @@ class ClosedLoop:
         groups: Mapping[object, np.ndarray] | None = None,
         num_shards: int = 1,
         shard_parallel: bool = False,
+        retrain_mode: str | None = None,
     ) -> SimulationHistory | AggregateHistory:
         """Run the loop for ``num_steps`` steps and return the history.
 
@@ -359,6 +397,28 @@ class ClosedLoop:
             history), a shard-aware picklable population and a fresh
             :class:`~repro.core.filters.DefaultRateFilter`; anything else
             falls back to the serial path, which is bit-identical.
+        retrain_mode:
+            Retraining protocol of the *pooled* path: with
+            ``"compressed"`` and an AI system speaking the
+            sufficient-statistics protocol (``update_from_suffstats`` +
+            ``suffstats_spec``, e.g.
+            :class:`~repro.core.ai_system.CreditScoringSystem` wrapping a
+            ``retrain_mode="compressed"`` lender), each worker compresses
+            its shard's training rows into a
+            :class:`~repro.scoring.suffstats.CompressedDesign` count table
+            and the orchestrator merges them by exact integer addition
+            before one tiny O(unique rows) central fit — instead of the
+            O(users) central ``update``.  ``None`` (default) and
+            ``"compressed"`` engage the protocol exactly when the AI
+            system's own ``retrain_mode`` is ``"compressed"`` (it must
+            mirror what the system's ``update`` would do, so it cannot be
+            forced onto an exact-mode system); ``"exact"`` disables the
+            count-table transport, routing the full per-user arrays to the
+            central ``update`` hook — which still applies the AI system's
+            *own* refit strategy, so a compressed-mode lender compresses
+            centrally either way (the knob selects the transport, not the
+            algorithm).  The serial path is unaffected for the same
+            reason.
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
@@ -368,6 +428,11 @@ class ClosedLoop:
             )
         if num_shards < 1:
             raise ValueError("num_shards must be positive")
+        if retrain_mode is not None and retrain_mode not in _RETRAIN_MODES:
+            raise ValueError(
+                f'retrain_mode must be one of {_RETRAIN_MODES} (or None), '
+                f"got {retrain_mode!r}"
+            )
         continuing = history is not None and history.num_steps > 0
         self._resolve_stream_base(rng, continuing=continuing)
         if history is not None:
@@ -385,7 +450,9 @@ class ClosedLoop:
             and start == 0
             and min(num_shards, self._plan.num_shards) > 1
         ):
-            pooled = self._try_run_pooled(num_steps, record_book, num_shards)
+            pooled = self._try_run_pooled(
+                num_steps, record_book, num_shards, retrain_mode
+            )
             if pooled is not None:
                 return pooled
         for k in range(start, start + num_steps):
@@ -506,11 +573,44 @@ class ClosedLoop:
             stacklevel=4,
         )
 
+    def _resolve_suffstats_spec(
+        self, retrain_mode: str | None
+    ) -> Dict[str, object] | None:
+        """Return the worker-side compression recipe, or ``None`` for exact.
+
+        Sufficient-statistics retraining is used when the resolved mode is
+        ``"compressed"`` (explicitly, or auto-detected from the AI system's
+        ``retrain_mode`` attribute), retraining is on, and the AI system
+        implements the protocol.  Everything else keeps the row-level
+        central ``update`` — which is always correct, just O(users).
+        """
+        if not self._retrain:
+            return None
+        if retrain_mode == "exact":
+            return None  # explicit opt-out of the suffstats protocol
+        if getattr(self._ai_system, "retrain_mode", "exact") != "compressed":
+            # The protocol must mirror what the AI system's own `update`
+            # would do, or the pooled and serial paths would diverge — so
+            # it cannot be forced onto an exact-mode system.
+            return None
+        if not hasattr(self._ai_system, "update_from_suffstats"):
+            return None
+        spec = getattr(self._ai_system, "suffstats_spec", None)
+        if not isinstance(spec, dict) or not (
+            "feature" in spec and "income_threshold" in spec
+        ):
+            # An incomplete recipe would only surface as a KeyError inside
+            # a worker process mid-trial; reject it here so the run takes
+            # the row-level central update instead.
+            return None
+        return spec
+
     def _try_run_pooled(
         self,
         num_steps: int,
         record_book: SimulationHistory | AggregateHistory,
         num_shards: int,
+        retrain_mode: str | None = None,
     ) -> SimulationHistory | AggregateHistory | None:
         """Run the shards on worker processes, or ``None`` for serial fallback.
 
@@ -534,11 +634,12 @@ class ClosedLoop:
         # exception from the init futures inside _ShardWorkerPool, which
         # the except below already turns into the serial fallback —
         # probing would serialize every population slice a second time.
+        suffstats_spec = self._resolve_suffstats_spec(retrain_mode)
         self._pool_token_counter += 1
         token = f"closedloop-{id(self):x}-{self._pool_token_counter}"
         try:
             pool = _ShardWorkerPool(
-                shards, self._stream_base, prior_rate, token
+                shards, self._stream_base, prior_rate, token, suffstats_spec
             )
         except Exception as error:
             self._warn_serial_fallback("starting the worker pool failed", error)
@@ -563,9 +664,20 @@ class ClosedLoop:
                 offers_total = sum(response[2] for response in responses)
                 repayments_total = sum(response[3] for response in responses)
                 if self._retrain:
-                    self._ai_system.update(
-                        public_features, decisions, actions, observation_before, k
-                    )
+                    if suffstats_spec is not None:
+                        # Shard count tables merge by exact integer
+                        # addition into the whole-population table, so the
+                        # central refit touches only O(unique rows).
+                        self._ai_system.update_from_suffstats(
+                            merge_tables(
+                                [response[4] for response in responses]
+                            ),
+                            k,
+                        )
+                    else:
+                        self._ai_system.update(
+                            public_features, decisions, actions, observation_before, k
+                        )
                 # Exactly DefaultRateTracker.portfolio_rate on the pooled
                 # integer counts; the per-user rates concatenate exactly.
                 observation_after = {

@@ -21,11 +21,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.scoring.cutoff import CutoffPolicy
-from repro.scoring.features import FeatureBuilder
+from repro.scoring.features import FeatureBuilder, clipped_default_rates
 from repro.scoring.logistic import LogisticRegression
 from repro.scoring.scorecard import Scorecard
+from repro.scoring.suffstats import CompressedDesign
 
 __all__ = ["LenderDecision", "Lender"]
+
+_RETRAIN_MODES = ("exact", "compressed")
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,19 @@ class Lender:
         Builder of the (income code, previous ADR) design matrix.
     l2_penalty:
         Ridge penalty of the yearly logistic refit.
+    retrain_mode:
+        ``"exact"`` (default) refits on the row-level training set;
+        ``"compressed"`` first deduplicates it into a
+        :class:`~repro.scoring.suffstats.CompressedDesign` count table and
+        routes the refit through the weighted IRLS path, so each Newton
+        iteration costs O(unique rows) instead of O(users).  Both modes
+        optimise the same objective; the compressed coefficients agree with
+        the exact ones to solver tolerance (the equivalence suite pins
+        identical decision vectors at paper scale).
+    warm_start:
+        Seed each refit's Newton iteration at the previous year's
+        parameters instead of zero.  Opt-in: it changes the iteration path
+        (not the optimum), so it stays off the default reproduction path.
     """
 
     def __init__(
@@ -77,13 +93,21 @@ class Lender:
         warm_up_rounds: int = 2,
         feature_builder: FeatureBuilder | None = None,
         l2_penalty: float = 1e-3,
+        retrain_mode: str = "exact",
+        warm_start: bool = False,
     ) -> None:
         if warm_up_rounds < 0:
             raise ValueError("warm_up_rounds must be non-negative")
+        if retrain_mode not in _RETRAIN_MODES:
+            raise ValueError(
+                f'retrain_mode must be one of {_RETRAIN_MODES}, got {retrain_mode!r}'
+            )
         self._cutoff_policy = CutoffPolicy(cutoff=cutoff)
         self._warm_up_rounds = warm_up_rounds
         self._feature_builder = feature_builder or FeatureBuilder()
         self._l2_penalty = l2_penalty
+        self._retrain_mode = retrain_mode
+        self._warm_start = bool(warm_start)
         self._rounds_seen = 0
         self._scorecard: Scorecard | None = None
         self._model: LogisticRegression | None = None
@@ -92,6 +116,21 @@ class Lender:
     def cutoff(self) -> float:
         """Return the decision cut-off."""
         return self._cutoff_policy.cutoff
+
+    @property
+    def retrain_mode(self) -> str:
+        """Return the refit strategy (``"exact"`` or ``"compressed"``)."""
+        return self._retrain_mode
+
+    @property
+    def warm_start(self) -> bool:
+        """Return whether refits warm-start at the previous parameters."""
+        return self._warm_start
+
+    @property
+    def feature_builder(self) -> FeatureBuilder:
+        """Return the builder of the (income code, previous ADR) matrix."""
+        return self._feature_builder
 
     @property
     def scorecard(self) -> Scorecard | None:
@@ -130,30 +169,131 @@ class Lender:
             Optional 0/1 mask restricting the training set to users who were
             actually offered a mortgage (only they produce an observable
             label).  When omitted every user is used, which matches the
-            paper's warm-up where everyone is approved.
+            paper's warm-up where everyone is approved.  A mask selecting
+            fewer than 2 users keeps the previous scorecard (there is no
+            informative label to refit on), or raises :class:`ValueError`
+            when no scorecard exists yet.
 
         Returns
         -------
         Scorecard
             The freshly trained scorecard (also stored on the lender).
         """
+        if self._retrain_mode == "compressed":
+            return self._retrain_compressed(
+                incomes, previous_default_rates, repayments, offered
+            )
         features = self._feature_builder.design_matrix(incomes, previous_default_rates)
         labels = np.asarray(repayments, dtype=float).ravel()
         if offered is not None:
             mask = np.asarray(offered, dtype=float).ravel() == 1.0
             if mask.shape[0] != features.shape[0]:
                 raise ValueError("offered mask must have one entry per user")
-            if mask.sum() >= 2:
-                features = features[mask]
-                labels = labels[mask]
-            elif self._scorecard is not None:
-                # Almost nobody was offered credit this round, so there is no
-                # informative label to learn from; keep the previous card
-                # rather than refitting on labels that are zero by
-                # construction for every denied user.
-                return self._scorecard
+            if mask.sum() < 2:
+                return self._degenerate_offered_mask()
+            features = features[mask]
+            labels = labels[mask]
         model = LogisticRegression(l2_penalty=self._l2_penalty)
-        model.fit(features, labels)
+        model.fit(features, labels, initial_parameters=self._warm_start_parameters())
+        return self._install_model(model)
+
+    def _retrain_compressed(
+        self,
+        incomes: Sequence[float] | np.ndarray,
+        previous_default_rates: Sequence[float] | np.ndarray,
+        repayments: Sequence[int] | np.ndarray,
+        offered: Sequence[int] | np.ndarray | None,
+    ) -> Scorecard:
+        """The O(unique rows) refit: compress first, never build (n, 2).
+
+        Semantically this is the exact path with
+        :class:`~repro.scoring.suffstats.CompressedDesign` in between —
+        same feature definitions (income code, rates clipped to [0, 1]
+        after the same tolerance check), same ``offered`` handling — but it
+        skips materialising the row-level design matrix, so the whole step
+        is a few O(users) passes plus one sort of packed 64-bit keys.
+        """
+        # The boolean comparison IS the income code (income_code merely
+        # casts it to float); CompressedDesign takes the bool column
+        # without a cast or a redundant binary check.
+        codes = (
+            np.asarray(incomes, dtype=float).ravel()
+            >= self._feature_builder.income_threshold
+        )
+        rates = np.asarray(previous_default_rates, dtype=float).ravel()
+        if codes.shape != rates.shape:
+            raise ValueError("incomes and previous_default_rates must align")
+        labels = np.asarray(repayments, dtype=float).ravel()
+        if offered is not None:
+            mask_array = np.asarray(offered, dtype=float).ravel()
+            if mask_array.shape[0] != codes.shape[0]:
+                raise ValueError("offered mask must have one entry per user")
+        table = CompressedDesign.from_arrays(
+            codes, clipped_default_rates(rates), labels, offered=offered
+        )
+        if offered is not None and table.num_rows < 2:
+            return self._degenerate_offered_mask()
+        return self._fit_from_table(table)
+
+    def _degenerate_offered_mask(self) -> Scorecard:
+        """Handle an offered mask selecting fewer than 2 users.
+
+        Almost nobody was offered credit this round, so there is no
+        informative label to learn from: keep the previous card rather than
+        refitting on labels that are zero by construction for every denied
+        user.  With no previous card either, refitting on the *unmasked*
+        population (the old silent fall-through) would train on labels the
+        lender never observed — refuse explicitly instead.
+        """
+        if self._scorecard is not None:
+            return self._scorecard
+        raise ValueError(
+            "the offered mask selects fewer than 2 users and no "
+            "previous scorecard exists to fall back on; train at "
+            "least once on an informative round (or omit `offered` "
+            "to reproduce the approve-everyone warm-up)"
+        )
+
+    def retrain_from_suffstats(self, table: CompressedDesign) -> Scorecard:
+        """Refit from a pre-aggregated count table (sharded retraining).
+
+        The sharded closed-loop runner builds one
+        :class:`~repro.scoring.suffstats.CompressedDesign` per worker shard
+        and merges them by exact integer addition; this entry point runs the
+        tiny O(unique rows) central fit on the merged table.  The degenerate
+        cases mirror :meth:`retrain`'s `offered` handling: a table with
+        fewer than 2 represented rows keeps the previous card, or raises
+        when none exists.
+        """
+        if table.num_rows < 2:
+            if self._scorecard is not None:
+                return self._scorecard
+            raise ValueError(
+                "the count table represents fewer than 2 offered users and "
+                "no previous scorecard exists to fall back on"
+            )
+        return self._fit_from_table(table)
+
+    def _warm_start_parameters(self) -> np.ndarray | None:
+        """Return the previous fit's ``[intercept, *coefficients]``, or None."""
+        if not self._warm_start or self._model is None:
+            return None
+        fit = self._model.fit_result
+        return np.concatenate([[fit.intercept], fit.coefficients])
+
+    def _fit_from_table(self, table: CompressedDesign) -> Scorecard:
+        """Run the weighted O(unique rows) refit on a count table."""
+        model = LogisticRegression(l2_penalty=self._l2_penalty)
+        model.fit(
+            table.design_matrix(),
+            table.labels,
+            sample_weights=table.counts,
+            initial_parameters=self._warm_start_parameters(),
+        )
+        return self._install_model(model)
+
+    def _install_model(self, model: LogisticRegression) -> Scorecard:
+        """Store a freshly fitted model and rebuild the scorecard from it."""
         self._model = model
         self._scorecard = Scorecard.from_logistic(
             model,

@@ -77,6 +77,22 @@ class CaseStudyConfig:
         parallelism, for when the per-trial loop is the bottleneck).  Falls
         back to the bit-identical serial path when the trial cannot be
         sharded (non-default filter, unpicklable population, nested pools).
+    retrain_mode:
+        Yearly refit strategy of the scorecard lender: ``"exact"``
+        (default) runs the row-level IRLS on every user, reproducing the
+        paper bit for bit; ``"compressed"`` deduplicates the degenerate
+        ``(income code, previous rate, label)`` training set into a
+        :class:`~repro.scoring.suffstats.CompressedDesign` count table so
+        each IRLS iteration costs O(unique rows) instead of O(users) — in
+        the pooled sharded path the tables are built per worker shard and
+        merged by exact integer addition, removing the refit's O(users)
+        central scan.  Compressed coefficients agree with exact to solver
+        tolerance; the equivalence suite pins identical decision vectors at
+        paper scale.
+    warm_start:
+        Seed each yearly refit's Newton iteration at the previous year's
+        parameters.  Opt-in (changes the iteration path, not the optimum),
+        so it stays off the bit-exact reproduction path.
     """
 
     num_users: int = 1000
@@ -97,11 +113,17 @@ class CaseStudyConfig:
     max_workers: int | None = None
     num_shards: int = 1
     shard_parallel: bool = False
+    retrain_mode: str = "exact"
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.history_mode not in ("full", "aggregate"):
             raise ValueError(
                 f'history_mode must be "full" or "aggregate", got {self.history_mode!r}'
+            )
+        if self.retrain_mode not in ("exact", "compressed"):
+            raise ValueError(
+                f'retrain_mode must be "exact" or "compressed", got {self.retrain_mode!r}'
             )
         require_positive(self.num_users, "num_users")
         require_positive(self.num_trials, "num_trials")

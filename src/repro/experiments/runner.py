@@ -32,7 +32,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -70,7 +70,12 @@ def default_policy_factory(
 ) -> AISystem:
     """Build the paper's retraining scorecard lender for one trial."""
     return CreditScoringSystem(
-        Lender(cutoff=config.cutoff, warm_up_rounds=config.warm_up_rounds)
+        Lender(
+            cutoff=config.cutoff,
+            warm_up_rounds=config.warm_up_rounds,
+            retrain_mode=config.retrain_mode,
+            warm_start=config.warm_start,
+        )
     )
 
 
@@ -311,6 +316,8 @@ def run_trial(
     history_mode: str | None = None,
     num_shards: int | None = None,
     shard_parallel: bool | None = None,
+    retrain_mode: str | None = None,
+    warm_start: bool | None = None,
 ) -> TrialResult:
     """Run one trial of the case study.
 
@@ -338,6 +345,12 @@ def run_trial(
         config).  The trajectory is bit-identical for every worker count,
         serial or pooled: the random schedule depends only on the
         population's canonical shard partition and the trial seed.
+    retrain_mode, warm_start:
+        Sufficient-statistics retraining overrides (``None`` defers to the
+        config); see :class:`~repro.experiments.config.CaseStudyConfig`.
+        ``"exact"`` reproduces the paper bit for bit; ``"compressed"``
+        refits in O(unique rows) with coefficients equal to solver
+        tolerance and — at paper scale — identical decision vectors.
     """
     mode = config.history_mode if history_mode is None else history_mode
     if mode not in ("full", "aggregate"):
@@ -346,6 +359,16 @@ def run_trial(
     pooled = config.shard_parallel if shard_parallel is None else bool(shard_parallel)
     if shards <= 0:
         raise ValueError("num_shards must be positive")
+    if retrain_mode is not None or warm_start is not None:
+        # The policy factory reads these off the config, so overrides must
+        # land there before the factory runs.
+        config = replace(
+            config,
+            retrain_mode=(
+                config.retrain_mode if retrain_mode is None else retrain_mode
+            ),
+            warm_start=config.warm_start if warm_start is None else bool(warm_start),
+        )
     factory = policy_factory or default_policy_factory
     trial_seed = derive_seed(config.seed, "trial", trial_index)
     rng = np.random.default_rng(trial_seed)
@@ -381,6 +404,7 @@ def run_trial(
             groups=population.groups,
             num_shards=shards,
             shard_parallel=pooled,
+            retrain_mode=config.retrain_mode,
         )
         user_rates = None
         group_rates = history.group_default_rate_series()
@@ -390,6 +414,7 @@ def run_trial(
             rng=trial_seed,
             num_shards=shards,
             shard_parallel=pooled,
+            retrain_mode=config.retrain_mode,
         )
         user_rates = history.running_default_rates()
         group_rates = group_average_series(user_rates, population.groups)
@@ -412,6 +437,8 @@ def _run_trial_task(
         str | None,
         int | None,
         bool | None,
+        str | None,
+        bool | None,
     ]
 ) -> TrialResult:
     """Executor entry point: run one trial from a pickled argument tuple."""
@@ -424,6 +451,8 @@ def _run_trial_task(
         history_mode,
         num_shards,
         shard_parallel,
+        retrain_mode,
+        warm_start,
     ) = payload
     return run_trial(
         config,
@@ -434,6 +463,8 @@ def _run_trial_task(
         history_mode=history_mode,
         num_shards=num_shards,
         shard_parallel=shard_parallel,
+        retrain_mode=retrain_mode,
+        warm_start=warm_start,
     )
 
 
@@ -455,6 +486,8 @@ def run_experiment(
     history_mode: str | None = None,
     num_shards: int | None = None,
     shard_parallel: bool | None = None,
+    retrain_mode: str | None = None,
+    warm_start: bool | None = None,
     keep_trials: bool = True,
 ) -> ExperimentResult:
     """Run all trials of the case study and return the aggregate result.
@@ -484,6 +517,9 @@ def run_experiment(
         its shard settings inside its own process (nested shard pools fall
         back to the serial shard path on platforms that forbid them —
         still bit-identical).
+    retrain_mode, warm_start:
+        Sufficient-statistics retraining overrides forwarded to every
+        trial (``None`` defers to the config); see :func:`run_trial`.
     keep_trials:
         Retain the per-trial results on the returned
         :class:`ExperimentResult` (default).  ``False`` drops each trial
@@ -509,6 +545,8 @@ def run_experiment(
             history_mode,
             num_shards,
             shard_parallel,
+            retrain_mode,
+            warm_start,
             moments,
             keep_trials,
         )
@@ -525,6 +563,8 @@ def run_experiment(
                 history_mode=history_mode,
                 num_shards=num_shards,
                 shard_parallel=shard_parallel,
+                retrain_mode=retrain_mode,
+                warm_start=warm_start,
             )
             moments.update(trial.group_default_rates)
             if keep_trials:
@@ -548,6 +588,8 @@ def _try_run_trials_in_processes(
     history_mode: str | None = None,
     num_shards: int | None = None,
     shard_parallel: bool | None = None,
+    retrain_mode: str | None = None,
+    warm_start: bool | None = None,
     moments: GroupSeriesMoments | None = None,
     keep_trials: bool = True,
 ) -> List[TrialResult] | None:
@@ -569,6 +611,8 @@ def _try_run_trials_in_processes(
             history_mode,
             num_shards,
             shard_parallel,
+            retrain_mode,
+            warm_start,
         )
         for trial_index in range(config.num_trials)
     ]

@@ -13,6 +13,7 @@ cut-off decision rule.
 from repro.scoring.logistic import LogisticRegression, LogisticFit
 from repro.scoring.scorecard import Scorecard, ScorecardFactor, paper_table1_scorecard
 from repro.scoring.features import FeatureBuilder, income_code
+from repro.scoring.suffstats import CompressedDesign, merge_tables
 from repro.scoring.cutoff import CutoffPolicy
 from repro.scoring.woe import WoeBin, WoeBinning, information_value
 from repro.scoring.calibration import ScoreScaler
@@ -26,6 +27,8 @@ __all__ = [
     "paper_table1_scorecard",
     "FeatureBuilder",
     "income_code",
+    "CompressedDesign",
+    "merge_tables",
     "CutoffPolicy",
     "WoeBin",
     "WoeBinning",

@@ -14,7 +14,27 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["income_code", "FeatureBuilder"]
+__all__ = ["income_code", "clipped_default_rates", "FeatureBuilder"]
+
+
+def clipped_default_rates(
+    previous_default_rates: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Validate previous average default rates and clip them to ``[0, 1]``.
+
+    Values up to ``1e-9`` outside the interval are tolerated (float noise
+    from upstream aggregation) and clipped exactly onto it; anything
+    further out raises.  Every retraining route — the row-level design
+    matrix, the lender's compressed path and the sharded workers' count
+    tables — shares this one definition, so serial and pooled runs can
+    never disagree on which rates are acceptable.
+    """
+    rates = np.asarray(previous_default_rates, dtype=float)
+    if rates.size and (
+        float(rates.min()) < -1e-9 or float(rates.max()) > 1 + 1e-9
+    ):
+        raise ValueError("previous_default_rates must lie in [0, 1]")
+    return np.clip(rates, 0.0, 1.0)
 
 
 def income_code(incomes: Sequence[float] | np.ndarray, threshold: float = 15.0) -> np.ndarray:
@@ -56,6 +76,4 @@ class FeatureBuilder:
         rates = np.asarray(previous_default_rates, dtype=float)
         if codes.shape != rates.shape:
             raise ValueError("incomes and previous_default_rates must align")
-        if np.any((rates < -1e-9) | (rates > 1 + 1e-9)):
-            raise ValueError("previous_default_rates must lie in [0, 1]")
-        return np.column_stack([codes, np.clip(rates, 0.0, 1.0)])
+        return np.column_stack([codes, clipped_default_rates(rates)])

@@ -104,6 +104,7 @@ class LogisticRegression:
         features: np.ndarray,
         labels: Sequence[int] | np.ndarray,
         sample_weights: Sequence[float] | np.ndarray | None = None,
+        initial_parameters: Sequence[float] | np.ndarray | None = None,
     ) -> LogisticFit:
         """Fit the model on a design matrix and binary labels.
 
@@ -114,7 +115,17 @@ class LogisticRegression:
         labels:
             Binary labels in {0, 1}.
         sample_weights:
-            Optional non-negative per-sample weights.
+            Optional non-negative per-sample weights.  Integer multiplicities
+            make the fit the exact weighted-likelihood equivalent of
+            repeating each row ``weight`` times — the sufficient-statistics
+            route of :mod:`repro.scoring.suffstats`.
+        initial_parameters:
+            Optional Newton starting point ``[intercept, *coefficients]``
+            (warm start).  The yearly retraining loop seeds this with the
+            previous year's parameters, which shrinks the iteration count;
+            the optimum — and hence the converged parameters up to the
+            solver tolerance — is unchanged.  Ignored by the single-class
+            guard, which has a closed form.
 
         Returns
         -------
@@ -144,11 +155,37 @@ class LogisticRegression:
             return self._fit
 
         design = np.hstack([np.ones((x.shape[0], 1)), x])
-        theta = np.zeros(design.shape[1])
+        if initial_parameters is None:
+            theta = np.zeros(design.shape[1])
+        else:
+            theta = np.asarray(initial_parameters, dtype=float).ravel().copy()
+            if theta.shape != (design.shape[1],):
+                raise ValueError(
+                    "initial_parameters must be [intercept, *coefficients] "
+                    f"of length {design.shape[1]}, got length {theta.shape[0]}"
+                )
+            if not np.all(np.isfinite(theta)):
+                raise ValueError("initial_parameters must be finite")
         penalty = np.full(design.shape[1], self._l2_penalty)
         penalty[0] = 0.0  # do not shrink the intercept
 
+        # Warm starts can sit deep in the sigmoid's saturated region, where
+        # the clipped log-likelihood is flat and the undamped Newton step
+        # overshoots catastrophically (the Hessian is nearly singular
+        # there).  Warm-started fits therefore backtrack each step until it
+        # *strictly* improves the penalised log-likelihood — a flat plateau
+        # never accepts a flight across it — and any stall, spurious
+        # convergence (tiny step, large gradient) or exhausted iteration
+        # budget falls back to the plain cold start, so a warm start can
+        # only change the iteration path, never the robustness.  The
+        # safeguards run only when warm-started: the cold-start iteration
+        # stays byte-identical to the pre-warm-start solver.
+        damped = initial_parameters is not None
+        gradient_scale = (
+            1e-6 * max(1.0, float(weights.sum())) if damped else float("inf")
+        )
         converged = False
+        stalled = False
         iterations = 0
         for iterations in range(1, self._max_iterations + 1):
             z = design @ theta
@@ -162,10 +199,50 @@ class LogisticRegression:
                 update = np.linalg.solve(hessian, gradient)
             except np.linalg.LinAlgError:
                 update = gradient / max(float(np.max(np.abs(np.diag(hessian)))), 1.0)
+            if damped:
+                if float(np.max(np.abs(update))) < self._tolerance:
+                    # A full Newton step already below tolerance: at the
+                    # optimum (the best case of a warm start — accept
+                    # without demanding a float-representable improvement),
+                    # unless the gradient says this is a saturation
+                    # plateau rather than stationarity.
+                    if float(np.max(np.abs(gradient))) > gradient_scale:
+                        stalled = True
+                        break
+                    theta = theta + update
+                    converged = True
+                    break
+                # The Newton direction is an ascent direction (the Hessian
+                # is positive definite), so some halved step improves the
+                # objective unless the float surface is locally flat — in
+                # which case the warm start is abandoned below.
+                current = self._log_likelihood(design, y, weights, theta, penalty)
+                chosen = None
+                step = update
+                for _ in range(30):
+                    if (
+                        self._log_likelihood(
+                            design, y, weights, theta + step, penalty
+                        )
+                        > current
+                    ):
+                        chosen = step
+                        break
+                    step = 0.5 * step
+                if chosen is None:
+                    stalled = True
+                    break
+                update = chosen
             theta = theta + update
             if float(np.max(np.abs(update))) < self._tolerance:
+                if damped and float(np.max(np.abs(gradient))) > gradient_scale:
+                    stalled = True  # tiny halved step far from stationarity
+                    break
                 converged = True
                 break
+
+        if damped and (stalled or not converged):
+            return self.fit(features, labels, sample_weights=sample_weights)
 
         self._fit = LogisticFit(
             coefficients=theta[1:].copy(),

@@ -40,12 +40,21 @@ class ScorecardFactor:
         identity.
     description:
         Human-readable description used by :meth:`Scorecard.table`.
+    vectorized_transform:
+        Declare that ``transform`` is *elementwise batch-aware*: it maps an
+        array to the equal-shape array of per-element scalar results, so
+        :meth:`Scorecard.score_matrix` may evaluate it once per column
+        instead of once per row.  Opt-in on purpose — a scalar-contract
+        transform that happens to accept arrays non-elementwise (e.g. one
+        that subtracts a column mean) would silently change scores if the
+        batch path were inferred by duck typing.
     """
 
     name: str
     points: float
     transform: Callable[[float], float] | None = None
     description: str = ""
+    vectorized_transform: bool = False
 
     def contribution(self, raw_value: float) -> float:
         """Return this factor's contribution to the total score."""
@@ -53,6 +62,28 @@ class ScorecardFactor:
         if self.transform is not None:
             value = float(self.transform(value))
         return self.points * value
+
+
+def _transform_column(factor: "ScorecardFactor", values: np.ndarray) -> np.ndarray:
+    """Apply a factor's transform to a whole feature column.
+
+    A factor declared ``vectorized_transform`` is evaluated in one batch
+    call (guarded: a raised exception or a shape mismatch falls back to the
+    per-row loop, so a mis-declared transform degrades to correct-but-slow
+    instead of crashing); every other factor keeps the per-row loop.  For
+    an elementwise transform — which is what the declaration asserts — both
+    routes evaluate the same function on the same values, so the scores are
+    bit-identical either way.
+    """
+    transform = factor.transform
+    if factor.vectorized_transform:
+        try:
+            batch = np.asarray(transform(values), dtype=float)
+        except Exception:
+            batch = None
+        if batch is not None and batch.shape == values.shape:
+            return batch
+    return np.array([float(transform(value)) for value in values])
 
 
 class Scorecard:
@@ -113,7 +144,7 @@ class Scorecard:
         for column, factor in enumerate(self._factors):
             values = matrix[:, column]
             if factor.transform is not None:
-                values = np.array([factor.transform(value) for value in values])
+                values = _transform_column(factor, values)
             scores += factor.points * values
         return scores
 
@@ -166,6 +197,13 @@ def paper_table1_scorecard(income_threshold: float = 15.0) -> Scorecard:
     code ``1_{income >= income_threshold}`` (threshold in $K) with +5.77
     points.
     """
+
+    def income_indicator(income):
+        # Batch-aware on purpose: score_matrix evaluates it once per
+        # column instead of once per row (scalars still work — the 0-d
+        # result floats cleanly in ScorecardFactor.contribution).
+        return (np.asarray(income, dtype=float) > income_threshold).astype(float)
+
     return Scorecard(
         factors=[
             ScorecardFactor(
@@ -176,8 +214,9 @@ def paper_table1_scorecard(income_threshold: float = 15.0) -> Scorecard:
             ScorecardFactor(
                 name="income",
                 points=5.77,
-                transform=lambda income: 1.0 if income > income_threshold else 0.0,
+                transform=income_indicator,
                 description=f"> ${income_threshold:.0f}K indicator",
+                vectorized_transform=True,
             ),
         ],
         base_score=0.0,

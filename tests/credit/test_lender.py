@@ -67,19 +67,113 @@ class TestRetraining:
         card = lender.retrain(incomes, previous_rates, repayments, offered=offered)
         assert card is not None
 
-    def test_tiny_offered_mask_falls_back_to_all_users(self):
+    def test_tiny_offered_mask_without_a_card_is_rejected(self):
+        """Regression: a mask selecting < 2 users with no prior scorecard
+        used to fall through silently and train on the *unmasked*
+        population — labels the lender never observed."""
         lender = Lender()
         incomes, previous_rates, repayments = training_data(50)
         offered = np.zeros_like(repayments)
         offered[0] = 1
+        with pytest.raises(ValueError, match="fewer than 2 users"):
+            lender.retrain(incomes, previous_rates, repayments, offered=offered)
+        assert lender.scorecard is None  # nothing was trained on bogus labels
+
+    def test_tiny_offered_mask_keeps_the_previous_card(self):
+        lender = Lender()
+        incomes, previous_rates, repayments = training_data(50)
+        previous = lender.retrain(incomes, previous_rates, repayments)
+        offered = np.zeros_like(repayments)
         card = lender.retrain(incomes, previous_rates, repayments, offered=offered)
-        assert card is not None
+        assert card is previous
 
     def test_wrong_length_offered_mask_is_rejected(self):
         lender = Lender()
         incomes, previous_rates, repayments = training_data(20)
         with pytest.raises(ValueError):
             lender.retrain(incomes, previous_rates, repayments, offered=[1, 0])
+
+
+class TestCompressedRetraining:
+    def test_invalid_retrain_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            Lender(retrain_mode="subsampled")
+
+    def test_mode_and_warm_start_properties(self):
+        lender = Lender(retrain_mode="compressed", warm_start=True)
+        assert lender.retrain_mode == "compressed"
+        assert lender.warm_start
+        assert Lender().retrain_mode == "exact"
+        assert not Lender().warm_start
+
+    def test_compressed_coefficients_match_exact(self):
+        incomes, previous_rates, repayments = training_data()
+        # Quantise the rates so the compression actually collapses rows,
+        # like the loop's small-integer default-rate ratios do.
+        previous_rates = np.round(previous_rates * 10) / 10
+        exact = Lender().retrain(incomes, previous_rates, repayments)
+        compressed = Lender(retrain_mode="compressed").retrain(
+            incomes, previous_rates, repayments
+        )
+        exact_points = {f.name: f.points for f in exact.factors}
+        compressed_points = {f.name: f.points for f in compressed.factors}
+        for name, value in exact_points.items():
+            assert compressed_points[name] == pytest.approx(value, abs=1e-9)
+        assert compressed.base_score == pytest.approx(exact.base_score, abs=1e-9)
+
+    def test_compressed_respects_the_offered_mask(self):
+        incomes, previous_rates, repayments = training_data()
+        previous_rates = np.round(previous_rates * 10) / 10
+        offered = (np.arange(incomes.size) % 2).astype(int)
+        exact = Lender().retrain(
+            incomes, previous_rates, repayments, offered=offered
+        )
+        compressed = Lender(retrain_mode="compressed").retrain(
+            incomes, previous_rates, repayments, offered=offered
+        )
+        for left, right in zip(exact.factors, compressed.factors):
+            assert right.points == pytest.approx(left.points, abs=1e-9)
+
+    def test_retrain_from_suffstats_matches_direct_compressed(self):
+        from repro.scoring.features import income_code
+        from repro.scoring.suffstats import CompressedDesign
+
+        incomes, previous_rates, repayments = training_data()
+        previous_rates = np.round(previous_rates * 10) / 10
+        direct = Lender(retrain_mode="compressed").retrain(
+            incomes, previous_rates, repayments
+        )
+        table = CompressedDesign.from_arrays(
+            income_code(incomes), previous_rates, repayments
+        )
+        via_table = Lender().retrain_from_suffstats(table)
+        for left, right in zip(direct.factors, via_table.factors):
+            assert right.points == left.points  # same table -> same fit, bit for bit
+        assert via_table.base_score == direct.base_score
+
+    def test_retrain_from_suffstats_degenerate_table(self):
+        from repro.scoring.suffstats import CompressedDesign
+
+        empty = CompressedDesign.from_arrays([], [], [])
+        lender = Lender()
+        with pytest.raises(ValueError, match="fewer than 2"):
+            lender.retrain_from_suffstats(empty)
+        incomes, previous_rates, repayments = training_data(50)
+        previous = lender.retrain(incomes, previous_rates, repayments)
+        assert lender.retrain_from_suffstats(empty) is previous
+
+    def test_warm_start_converges_to_the_same_card(self):
+        incomes, previous_rates, repayments = training_data()
+        cold = Lender()
+        warm = Lender(warm_start=True)
+        for lender in (cold, warm):
+            lender.retrain(incomes, previous_rates, repayments)
+        # Second refit on shifted labels: warm starts from the first fit.
+        shifted = 1 - repayments
+        cold_card = cold.retrain(incomes, previous_rates, shifted)
+        warm_card = warm.retrain(incomes, previous_rates, shifted)
+        for left, right in zip(cold_card.factors, warm_card.factors):
+            assert right.points == pytest.approx(left.points, abs=1e-6)
 
 
 class TestDecisions:

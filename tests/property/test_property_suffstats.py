@@ -1,0 +1,167 @@
+"""Property-based tests on the sufficient-statistics retraining tables.
+
+Four families of properties pin :class:`repro.scoring.suffstats.CompressedDesign`:
+
+* **Conservation** — the ``int64`` multiplicities always sum to the number
+  of (offered) input rows, and unpacking the keys recovers exactly the set
+  of distinct input rows.
+* **Sufficiency** — the weighted log-likelihood of the compressed table
+  equals the row-level log-likelihood of the uncompressed training set at
+  any parameter vector (up to float reassociation), i.e. the dedup loses
+  nothing the logistic objective can see.
+* **Shard merge** — merging per-shard count tables is associative,
+  commutative, and *exactly* (integer-exactly) equal to compressing the
+  whole population in one pass, for every random partition.
+* **Fit agreement** — the weighted IRLS fit on the compressed table agrees
+  with the row-level fit on random streams to solver tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring.logistic import LogisticRegression
+from repro.scoring.suffstats import CompressedDesign, merge_tables
+
+sizes = st.integers(min_value=1, max_value=300)
+seeds = st.integers(min_value=0, max_value=10_000)
+thetas = st.tuples(
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=-5, max_value=5),
+)
+
+
+def loop_like_rows(n: int, seed: int):
+    """Binary codes, small-integer-ratio rates and binary labels.
+
+    The rates are ratios ``defaults / offers`` with small denominators —
+    exactly the value set the closed loop's default-rate filter produces,
+    and the degeneracy the compression exploits.
+    """
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 2, n).astype(float)
+    offers = rng.integers(1, 9, n)
+    rates = rng.binomial(offers, rng.uniform(0.05, 0.6)) / offers
+    labels = rng.integers(0, 2, n).astype(float)
+    return codes, rates, labels
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(n=sizes, seed=seeds)
+    def test_counts_sum_to_n(self, n, seed):
+        codes, rates, labels = loop_like_rows(n, seed)
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        assert table.num_rows == n
+        assert int(table.counts.min()) >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=sizes, seed=seeds)
+    def test_offered_mask_conserves_offered_rows(self, n, seed):
+        codes, rates, labels = loop_like_rows(n, seed)
+        offered = np.random.default_rng(seed + 1).integers(0, 2, n).astype(float)
+        table = CompressedDesign.from_arrays(codes, rates, labels, offered=offered)
+        assert table.num_rows == int(offered.sum())
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=sizes, seed=seeds)
+    def test_unique_rows_round_trip(self, n, seed):
+        codes, rates, labels = loop_like_rows(n, seed)
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        expected = {}
+        for row in zip(codes, rates, labels):
+            key = (float(row[0]), float(row[1]), float(row[2]))
+            expected[key] = expected.get(key, 0) + 1
+        observed = {
+            (float(c), float(r), float(y)): int(count)
+            for c, r, y, count in zip(
+                table.codes, table.rates, table.labels, table.counts
+            )
+        }
+        assert observed == expected
+
+
+class TestSufficiency:
+    @settings(max_examples=40, deadline=None)
+    @given(n=sizes, seed=seeds, theta=thetas)
+    def test_weighted_log_likelihood_round_trips(self, n, seed, theta):
+        codes, rates, labels = loop_like_rows(n, seed)
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        parameters = np.asarray(theta)
+        z = np.clip(
+            parameters[0] + codes * parameters[1] + rates * parameters[2],
+            -30.0,
+            30.0,
+        )
+        row_level = float(
+            np.sum(
+                labels * -np.log1p(np.exp(-z))
+                + (1.0 - labels) * -np.log1p(np.exp(z))
+            )
+        )
+        assert table.weighted_log_likelihood(parameters) == pytest.approx(
+            row_level, rel=1e-10, abs=1e-10
+        )
+
+
+class TestShardMerge:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=300), seed=seeds)
+    def test_merge_equals_whole_population_compression(self, n, seed):
+        codes, rates, labels = loop_like_rows(n, seed)
+        rng = np.random.default_rng(seed + 7)
+        cuts = sorted(rng.integers(0, n + 1, size=2))
+        bounds = [0, int(cuts[0]), int(cuts[1]), n]
+        shards = [
+            CompressedDesign.from_arrays(
+                codes[lo:hi], rates[lo:hi], labels[lo:hi]
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        whole = CompressedDesign.from_arrays(codes, rates, labels)
+        merged = merge_tables(shards)
+        np.testing.assert_array_equal(merged.keys, whole.keys)
+        np.testing.assert_array_equal(merged.counts, whole.counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=200), seed=seeds)
+    def test_merge_is_associative_and_commutative(self, n, seed):
+        codes, rates, labels = loop_like_rows(n, seed)
+        third = max(1, n // 3)
+        a = CompressedDesign.from_arrays(
+            codes[:third], rates[:third], labels[:third]
+        )
+        b = CompressedDesign.from_arrays(
+            codes[third : 2 * third],
+            rates[third : 2 * third],
+            labels[third : 2 * third],
+        )
+        c = CompressedDesign.from_arrays(
+            codes[2 * third :], rates[2 * third :], labels[2 * third :]
+        )
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a).merge(b)
+        for other in (right, swapped):
+            np.testing.assert_array_equal(left.keys, other.keys)
+            np.testing.assert_array_equal(left.counts, other.counts)
+
+
+class TestFitAgreement:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=20, max_value=400), seed=seeds)
+    def test_compressed_fit_matches_row_level_fit(self, n, seed):
+        codes, rates, labels = loop_like_rows(n, seed)
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        exact = LogisticRegression().fit(np.column_stack([codes, rates]), labels)
+        compressed = LogisticRegression().fit(
+            table.design_matrix(), table.labels, sample_weights=table.counts
+        )
+        np.testing.assert_allclose(
+            compressed.coefficients, exact.coefficients, atol=1e-7
+        )
+        assert compressed.intercept == pytest.approx(exact.intercept, abs=1e-7)

@@ -82,6 +82,58 @@ class TestFitting:
         assert fit.intercept == pytest.approx(0.25, abs=0.2)
 
 
+class TestWarmStart:
+    def test_warm_start_from_the_optimum_converges_immediately(self):
+        features, labels = make_separable_data()
+        cold = LogisticRegression().fit(features, labels)
+        warm = LogisticRegression().fit(
+            features,
+            labels,
+            initial_parameters=np.concatenate([[cold.intercept], cold.coefficients]),
+        )
+        assert warm.converged
+        # The best case of a warm start must not stall into a cold refit:
+        # one Newton step below tolerance is accepted immediately.
+        assert warm.iterations == 1
+        np.testing.assert_allclose(warm.coefficients, cold.coefficients, atol=1e-6)
+
+    def test_junk_warm_start_falls_back_to_the_cold_optimum(self):
+        """Regression: a warm start deep in the saturated region used to
+        make the undamped Newton step diverge (flat clipped likelihood
+        accepts any step); the safeguard must land on the cold optimum."""
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(200, 2))
+        labels = (features[:, 0] - features[:, 1] > 0).astype(int)
+        cold = LogisticRegression().fit(features, labels)
+        for junk in ([30.0, 30.0, 30.0], [-25.0, 10.0, -40.0], [1e6, 0.0, 0.0]):
+            warm = LogisticRegression().fit(
+                features, labels, initial_parameters=junk
+            )
+            assert warm.converged
+            np.testing.assert_allclose(
+                warm.coefficients, cold.coefficients, atol=1e-6
+            )
+            assert warm.intercept == pytest.approx(cold.intercept, abs=1e-6)
+
+    def test_warm_start_does_not_change_the_cold_path(self):
+        """fit() without initial_parameters is byte-identical to the
+        pre-warm-start solver: same iteration count, same bits."""
+        features, labels = make_separable_data()
+        first = LogisticRegression().fit(features, labels)
+        second = LogisticRegression().fit(features, labels)
+        assert first.iterations == second.iterations
+        np.testing.assert_array_equal(first.coefficients, second.coefficients)
+
+    def test_invalid_initial_parameters_are_rejected(self):
+        features, labels = make_separable_data(50)
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(features, labels, initial_parameters=[0.0])
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(
+                features, labels, initial_parameters=[0.0, np.nan, 0.0]
+            )
+
+
 class TestDegenerateCases:
     def test_all_positive_labels_yield_intercept_only_model(self):
         features = np.random.default_rng(0).normal(size=(50, 2))

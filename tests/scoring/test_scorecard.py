@@ -78,6 +78,107 @@ class TestScorecard:
         assert card.factor_names == ("average_default_rate", "income")
 
 
+class TestBatchTransforms:
+    """score_matrix evaluates transforms columnwise, bit-identical to the loop."""
+
+    @staticmethod
+    def _loop_reference(card: Scorecard, features: np.ndarray) -> np.ndarray:
+        """The pre-vectorisation per-row implementation, kept as the pin."""
+        matrix = np.asarray(features, dtype=float)
+        scores = np.full(matrix.shape[0], card.base_score, dtype=float)
+        for column, factor in enumerate(card.factors):
+            values = matrix[:, column]
+            if factor.transform is not None:
+                values = np.array([factor.transform(value) for value in values])
+            scores += factor.points * values
+        return scores
+
+    def test_paper_card_is_bit_identical_to_the_loop(self):
+        card = paper_table1_scorecard()
+        rng = np.random.default_rng(0)
+        features = np.column_stack(
+            [rng.uniform(0, 1, 500), rng.uniform(0, 200, 500)]
+        )
+        np.testing.assert_array_equal(
+            card.score_matrix(features), self._loop_reference(card, features)
+        )
+
+    def test_scalar_only_transform_keeps_the_loop(self):
+        card = Scorecard(
+            factors=[
+                ScorecardFactor(
+                    name="x",
+                    points=2.0,
+                    # Scalar contract, not declared batch-aware: stays on
+                    # the per-row loop (and would raise on an array input).
+                    transform=lambda value: 1.0 if value > 0.5 else 0.0,
+                )
+            ]
+        )
+        features = np.array([[0.2], [0.7], [0.5]])
+        np.testing.assert_array_equal(
+            card.score_matrix(features), self._loop_reference(card, features)
+        )
+
+    def test_misdeclared_shape_collapsing_transform_falls_back(self):
+        card = Scorecard(
+            factors=[
+                ScorecardFactor(
+                    name="x",
+                    points=1.0,
+                    # Declared batch-aware but collapses the column to a
+                    # scalar — the guard must reject it and loop instead.
+                    transform=lambda value: float(np.sum(value)),
+                    vectorized_transform=True,
+                )
+            ]
+        )
+        features = np.array([[1.0], [2.0], [3.0]])
+        np.testing.assert_array_equal(
+            card.score_matrix(features), self._loop_reference(card, features)
+        )
+
+    def test_misdeclared_raising_transform_falls_back(self):
+        card = Scorecard(
+            factors=[
+                ScorecardFactor(
+                    name="x",
+                    points=2.0,
+                    transform=lambda value: 1.0 if value > 0.5 else 0.0,
+                    vectorized_transform=True,  # lie: raises on arrays
+                )
+            ]
+        )
+        features = np.array([[0.2], [0.7], [0.5]])
+        np.testing.assert_array_equal(
+            card.score_matrix(features), self._loop_reference(card, features)
+        )
+
+    def test_undeclared_non_elementwise_transform_keeps_row_semantics(self):
+        """A transform that accepts arrays but is not elementwise must not
+        be batch-evaluated unless explicitly declared — the shape guard
+        alone could not tell the difference."""
+        card = Scorecard(
+            factors=[
+                ScorecardFactor(
+                    name="x",
+                    points=1.0,
+                    # Per-scalar this is the zero function; per-column it
+                    # would centre the values.
+                    transform=lambda value: value - np.mean(value),
+                )
+            ]
+        )
+        features = np.array([[1.0], [2.0], [3.0]])
+        np.testing.assert_array_equal(card.score_matrix(features), [0.0, 0.0, 0.0])
+
+    def test_paper_card_scalar_scoring_still_works(self):
+        card = paper_table1_scorecard()
+        assert card.score({"average_default_rate": 0.1, "income": 50.0}) == (
+            pytest.approx(4.953, abs=1e-9)
+        )
+
+
 class TestFromLogistic:
     def test_points_equal_fitted_coefficients(self):
         rng = np.random.default_rng(0)

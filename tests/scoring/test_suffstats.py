@@ -1,0 +1,184 @@
+"""Tests for repro.scoring.suffstats (the retraining count tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scoring.features import income_code
+from repro.scoring.logistic import LogisticRegression
+from repro.scoring.suffstats import CompressedDesign, merge_tables
+
+
+def example_rows(n: int = 500, seed: int = 0):
+    """A loop-like training set: binary codes, small-ratio rates, labels."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 2, n).astype(float)
+    offers = rng.integers(1, 11, n)
+    rates = rng.binomial(offers, 0.2) / offers
+    labels = rng.integers(0, 2, n).astype(float)
+    return codes, rates, labels
+
+
+class TestConstruction:
+    def test_counts_sum_to_row_count(self):
+        codes, rates, labels = example_rows()
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        assert table.num_rows == codes.size
+        assert table.counts.dtype == np.int64
+
+    def test_unique_rows_round_trip(self):
+        """Unpacking the keys recovers exactly the distinct input rows."""
+        codes, rates, labels = example_rows()
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        seen = {
+            (float(c), float(r), float(y))
+            for c, r, y in zip(codes, rates, labels)
+        }
+        unpacked = {
+            (float(c), float(r), float(y))
+            for c, r, y in zip(table.codes, table.rates, table.labels)
+        }
+        assert unpacked == seen
+        assert table.num_unique == len(seen)
+
+    def test_row_multiplicities_are_exact(self):
+        table = CompressedDesign.from_arrays(
+            [1.0, 1.0, 0.0, 1.0], [0.5, 0.5, 0.5, 0.25], [1, 1, 1, 1]
+        )
+        by_row = {
+            (c, r): int(count)
+            for c, r, count in zip(table.codes, table.rates, table.counts)
+        }
+        assert by_row == {(1.0, 0.5): 2, (0.0, 0.5): 1, (1.0, 0.25): 1}
+
+    def test_offered_mask_drops_denied_rows(self):
+        codes, rates, labels = example_rows()
+        offered = np.zeros_like(codes)
+        offered[: codes.size // 3] = 1
+        table = CompressedDesign.from_arrays(codes, rates, labels, offered=offered)
+        assert table.num_rows == codes.size // 3
+
+    def test_boolean_codes_are_equivalent_to_floats(self):
+        codes, rates, labels = example_rows()
+        as_float = CompressedDesign.from_arrays(codes, rates, labels)
+        as_bool = CompressedDesign.from_arrays(codes.astype(bool), rates, labels)
+        np.testing.assert_array_equal(as_float.keys, as_bool.keys)
+        np.testing.assert_array_equal(as_float.counts, as_bool.counts)
+
+    def test_negative_zero_rate_is_normalised(self):
+        table = CompressedDesign.from_arrays([0.0, 0.0], [-0.0, 0.0], [1, 1])
+        assert table.num_unique == 1
+        assert table.rates[0] == 0.0
+
+    def test_design_matrix_matches_feature_builder_order(self):
+        table = CompressedDesign.from_arrays([1.0], [0.25], [0])
+        np.testing.assert_array_equal(table.design_matrix(), [[1.0, 0.25]])
+
+    def test_misaligned_inputs_are_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedDesign.from_arrays([1.0, 0.0], [0.5], [1, 0])
+        with pytest.raises(ValueError):
+            CompressedDesign.from_arrays([1.0], [0.5], [1], offered=[1, 1])
+
+    def test_invalid_values_are_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            CompressedDesign.from_arrays([0.5], [0.5], [1])
+        with pytest.raises(ValueError, match="binary"):
+            CompressedDesign.from_arrays([1.0], [0.5], [0.5])
+        with pytest.raises(ValueError, match="binary"):
+            CompressedDesign.from_arrays([-1.0], [0.5], [1])
+        for bad_rate in (1.5, -0.25, np.nan, np.inf):
+            with pytest.raises(ValueError, match="0, 1"):
+                CompressedDesign.from_arrays([1.0], [bad_rate], [1])
+
+    def test_empty_input_gives_an_empty_table(self):
+        table = CompressedDesign.from_arrays([], [], [])
+        assert table.num_unique == 0
+        assert table.num_rows == 0
+
+
+class TestSufficiency:
+    def test_weighted_fit_matches_row_level_fit(self):
+        """The count table is a sufficient statistic for the logistic fit."""
+        codes, rates, labels = example_rows()
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        exact = LogisticRegression().fit(np.column_stack([codes, rates]), labels)
+        compressed = LogisticRegression().fit(
+            table.design_matrix(), table.labels, sample_weights=table.counts
+        )
+        np.testing.assert_allclose(
+            compressed.coefficients, exact.coefficients, atol=1e-9
+        )
+        assert compressed.intercept == pytest.approx(exact.intercept, abs=1e-9)
+
+    def test_weighted_log_likelihood_matches_row_level(self):
+        codes, rates, labels = example_rows()
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        theta = np.array([0.3, -1.1, 2.0])
+        z = np.clip(theta[0] + codes * theta[1] + rates * theta[2], -30.0, 30.0)
+        row_level = float(
+            np.sum(
+                labels * -np.log1p(np.exp(-z))
+                + (1.0 - labels) * -np.log1p(np.exp(z))
+            )
+        )
+        assert table.weighted_log_likelihood(theta) == pytest.approx(
+            row_level, rel=1e-12
+        )
+
+    def test_weighted_log_likelihood_validates_theta(self):
+        table = CompressedDesign.from_arrays([1.0], [0.5], [1])
+        with pytest.raises(ValueError):
+            table.weighted_log_likelihood([0.0, 1.0])
+
+
+class TestMerge:
+    def test_merge_of_a_partition_equals_whole_population(self):
+        codes, rates, labels = example_rows(600)
+        whole = CompressedDesign.from_arrays(codes, rates, labels)
+        pieces = [
+            CompressedDesign.from_arrays(codes[lo:hi], rates[lo:hi], labels[lo:hi])
+            for lo, hi in ((0, 150), (150, 400), (400, 600))
+        ]
+        merged = merge_tables(pieces)
+        np.testing.assert_array_equal(merged.keys, whole.keys)
+        np.testing.assert_array_equal(merged.counts, whole.counts)
+
+    def test_pairwise_merge_matches_merge_tables(self):
+        codes, rates, labels = example_rows(300)
+        left = CompressedDesign.from_arrays(codes[:100], rates[:100], labels[:100])
+        right = CompressedDesign.from_arrays(codes[100:], rates[100:], labels[100:])
+        pairwise = left.merge(right)
+        batched = merge_tables([left, right])
+        np.testing.assert_array_equal(pairwise.keys, batched.keys)
+        np.testing.assert_array_equal(pairwise.counts, batched.counts)
+
+    def test_merge_single_table_copies(self):
+        table = CompressedDesign.from_arrays([1.0], [0.5], [1])
+        merged = merge_tables([table])
+        np.testing.assert_array_equal(merged.keys, table.keys)
+        assert merged.keys is not table.keys
+
+    def test_merge_empty_collection_is_rejected(self):
+        with pytest.raises(ValueError):
+            merge_tables([])
+
+    def test_merge_with_empty_table_is_identity(self):
+        codes, rates, labels = example_rows(100)
+        table = CompressedDesign.from_arrays(codes, rates, labels)
+        empty = CompressedDesign.from_arrays([], [], [])
+        merged = table.merge(empty)
+        np.testing.assert_array_equal(merged.keys, table.keys)
+        np.testing.assert_array_equal(merged.counts, table.counts)
+
+
+class TestLoopIntegration:
+    def test_income_code_column_round_trips(self):
+        incomes = np.array([5.0, 15.0, 14.999, 120.0])
+        rates = np.array([0.0, 0.5, 1.0, 0.25])
+        table = CompressedDesign.from_arrays(
+            income_code(incomes), rates, np.ones(4)
+        )
+        assert table.num_rows == 4
+        assert set(np.unique(table.codes)) == {0.0, 1.0}

@@ -24,6 +24,20 @@ class TestParser:
         assert arguments.users == 50
         assert arguments.trials == 1
 
+    def test_retrain_mode_flags_are_parsed(self):
+        arguments = build_parser().parse_args(["fig3"])
+        assert arguments.retrain_mode == "exact"
+        assert not arguments.warm_start
+        arguments = build_parser().parse_args(
+            ["--retrain-mode", "compressed", "--warm-start", "fig3"]
+        )
+        assert arguments.retrain_mode == "compressed"
+        assert arguments.warm_start
+
+    def test_invalid_retrain_mode_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--retrain-mode", "subsampled", "fig3"])
+
 
 class TestCommands:
     def test_fig2_prints_the_income_table(self, capsys):
@@ -43,6 +57,24 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "cross-race ADR gap" in output
         assert "2020" in output
+
+    def test_fig3_runs_with_compressed_retraining(self, capsys):
+        assert (
+            main(
+                [
+                    "--users",
+                    "80",
+                    "--trials",
+                    "1",
+                    "--retrain-mode",
+                    "compressed",
+                    "fig3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cross-race ADR gap" in output
 
     def test_ablation_ergodicity_runs(self, capsys):
         assert main(["ablation-ergodicity"]) == 0
