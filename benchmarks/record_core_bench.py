@@ -30,6 +30,13 @@ the per-year refit in ``exact`` (row-level IRLS) vs ``compressed``
 real loop step, the unique-row count the compression collapses to, and the
 whole-trial wall clocks per mode — the refit is the central serial phase
 of the sharded runner, so this is the Amdahl number.
+
+The entry also records the trial-batched engine timings
+(``measure_trial_batched``): serial vs lockstep ``trial_batch=True``
+experiment wall clocks (bit-identical by construction) at the 8-trial x
+20k-user x 20-step workload in both retrain modes, and at a 32-trial x
+1k-user Monte-Carlo sweep — the many-seeded-trials regime the batched
+engine targets.  Each side is a min of two runs.
 """
 
 from __future__ import annotations
@@ -208,6 +215,50 @@ def measure_retrain(num_users: int) -> dict:
     return timings
 
 
+def measure_trial_batched() -> dict:
+    """Time serial vs trial-batched experiments (identical results).
+
+    Two workloads: the 8 x 20k x 20 target of the trial-batching issue
+    (where per-trial C work — income draws, probit, refits, history
+    memcpy — dominates and bounds the achievable ratio) and a 32 x 1k x 20
+    Monte-Carlo sweep (many paper-scale trials, the regime where the
+    amortised per-step dispatch is the larger fraction).  ``cpu_count``
+    travels with the numbers: batching is the single-core strategy, while
+    trial pooling overtakes it once real cores exist.
+    """
+    import timeit
+
+    from repro.experiments.config import CaseStudyConfig
+    from repro.experiments.runner import run_experiment
+
+    headline = CaseStudyConfig(num_users=20_000, num_trials=8, end_year=2021)
+    sweep = CaseStudyConfig(num_users=1_000, num_trials=32, end_year=2021)
+    workloads = [
+        ("trials8_users20k_exact", headline, {}),
+        ("trials8_users20k_compressed", headline, {"retrain_mode": "compressed"}),
+        ("sweep_trials32_users1k_compressed", sweep, {"retrain_mode": "compressed"}),
+    ]
+    timings: dict = {"cpu_count": os.cpu_count()}
+    for key, config, kwargs in workloads:
+        run_experiment(config, trial_batch=True, **kwargs)  # warm caches
+        serial = min(
+            timeit.repeat(
+                lambda: run_experiment(config, **kwargs), number=1, repeat=2
+            )
+        )
+        batched = min(
+            timeit.repeat(
+                lambda: run_experiment(config, trial_batch=True, **kwargs),
+                number=1,
+                repeat=2,
+            )
+        )
+        timings[f"{key}_serial_s"] = round(serial, 4)
+        timings[f"{key}_batched_s"] = round(batched, 4)
+        timings[f"{key}_batched_speedup_x"] = round(serial / max(batched, 1e-9), 2)
+    return timings
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="columnar-engine", help="entry label")
@@ -233,6 +284,11 @@ def main() -> None:
         action="store_true",
         help="skip the retrain-mode (exact vs compressed) timings",
     )
+    parser.add_argument(
+        "--skip-trial-batch",
+        action="store_true",
+        help="skip the serial-vs-trial-batched experiment timings",
+    )
     args = parser.parse_args()
 
     timings = measure(args.users)
@@ -240,6 +296,8 @@ def main() -> None:
         timings.update(measure_sharded(args.users))
     if not args.skip_retrain:
         timings.update(measure_retrain(args.users))
+    if not args.skip_trial_batch:
+        timings.update(measure_trial_batched())
     memory: dict = {}
     if not args.skip_memory:
         import mem_probe

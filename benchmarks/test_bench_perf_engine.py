@@ -229,3 +229,48 @@ def test_bench_streaming_memory_ceiling():
         "full-history recorder should cost >=10x the streaming recorder, got "
         f"{measured['memory_ratio_x']}x"
     )
+
+
+def test_bench_trial_batched():
+    """The trial-batched engine must beat the serial trial loop >=2x.
+
+    CI scale: a Monte-Carlo sweep of 32 trials x 250 users x 20 steps with
+    sufficient-statistics retraining — the regime trial batching targets
+    (many seeded trials, fixed per-step dispatch amortised across the
+    trial axis, one core).  Results are bit-identical by construction
+    (pinned in ``tests/experiments/test_batch_equivalence.py``), so this
+    is a pure wall-clock comparison; both sides are measured as a min of
+    three runs to damp scheduler noise.  The full-scale ratios (including
+    the 8 x 20k x 20 workload, where per-trial C work dominates and the
+    ratio is smaller) are recorded in ``BENCH_core.json`` under
+    ``trial-batched-engine``.
+    """
+    from repro.experiments.runner import run_experiment
+
+    config = CaseStudyConfig(num_users=250, num_trials=32, end_year=2021)
+
+    def serial_run():
+        return run_experiment(config, retrain_mode="compressed")
+
+    def batched_run():
+        return run_experiment(config, retrain_mode="compressed", trial_batch=True)
+
+    batched_run()  # warm caches (income CDFs, numpy internals)
+    serial_seconds = min(
+        _timed(serial_run) for _ in range(3)
+    )
+    batched_seconds = min(
+        _timed(batched_run) for _ in range(3)
+    )
+    speedup = serial_seconds / max(batched_seconds, 1e-12)
+    print(
+        f"\ntrial-batched sweep (32 x 250 x 20, compressed): serial "
+        f"{serial_seconds:.3f}s vs batched {batched_seconds:.3f}s ({speedup:.2f}x)"
+    )
+    assert speedup >= 2.0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

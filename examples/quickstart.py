@@ -211,6 +211,47 @@ def compressed_variant(reference_series) -> None:
             f"  {race.value:<12} identical trajectory to the exact refit: {identical}"
         )
 
+    batched_sweep_variant()
+
+
+def batched_sweep_variant() -> None:
+    """A whole Monte-Carlo sweep in lockstep (``trial_batch=True``).
+
+    The paper's figures average many seeded trials of the same loop.  The
+    trial-batched engine stacks all of them into ``(trials, users)``
+    tensors and advances them through one fused step loop — every trial
+    still rides its own derived random streams and refits its own
+    scorecard, so each batched trial is bit-identical to its serial
+    ``run_trial`` twin (shown below).  On a single core this amortises the
+    fixed per-step dispatch across the whole sweep (~2.3x on a 32-trial x
+    1k-user sweep; see ``BENCH_core.json`` entry ``trial-batched-engine``),
+    where process pools would only add IPC; with many real cores, prefer
+    ``parallel=True`` trial pooling instead.
+    """
+    from repro.experiments import CaseStudyConfig, run_experiment
+
+    config = CaseStudyConfig(num_users=300, num_trials=6)
+    serial = run_experiment(config, retrain_mode="compressed")
+    batched = run_experiment(config, retrain_mode="compressed", trial_batch=True)
+
+    print("\n-- trial-batched sweep (trial_batch=True, 6 trials in lockstep) --")
+    for index, (serial_trial, batched_trial) in enumerate(
+        zip(serial.trials, batched.trials)
+    ):
+        identical = bool(
+            np.array_equal(
+                serial_trial.user_default_rates, batched_trial.user_default_rates
+            )
+        )
+        print(f"  trial {index}: bit-identical to its serial twin: {identical}")
+    gap = {
+        race: float(batched.group_mean_series()[race][-1]) for race in Race
+    }
+    print(
+        "  across-trial mean final ADR per race: "
+        + "  ".join(f"{race.name}: {value:.3f}" for race, value in gap.items())
+    )
+
 
 if __name__ == "__main__":
     main()

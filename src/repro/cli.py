@@ -50,6 +50,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
             shard_parallel=arguments.shard_parallel,
             retrain_mode=arguments.retrain_mode,
             warm_start=arguments.warm_start,
+            trial_batch=arguments.trial_batch,
         )
     return CaseStudyConfig(
         num_users=arguments.users,
@@ -60,6 +61,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
         shard_parallel=arguments.shard_parallel,
         retrain_mode=arguments.retrain_mode,
         warm_start=arguments.warm_start,
+        trial_batch=arguments.trial_batch,
     )
 
 
@@ -91,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-parallel",
         action="store_true",
         help="execute each trial's worker shards on a process pool",
+    )
+    parser.add_argument(
+        "--trial-batch",
+        action="store_true",
+        help=(
+            "run all trials in lockstep through the trial-batched tensor "
+            "engine: (trials x users) fused per-step math, bit-identical "
+            "to the serial trial loop; the winning strategy on few cores "
+            "with many trials (takes precedence over trial pooling and "
+            "ignores --shard-parallel)"
+        ),
     )
     parser.add_argument(
         "--retrain-mode",

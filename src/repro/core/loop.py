@@ -77,7 +77,7 @@ from repro.core.sharding import PopulationShard, ShardPlan, shard_population
 from repro.core.streaming import AggregateHistory
 from repro.scoring.features import clipped_default_rates, income_code
 from repro.scoring.suffstats import CompressedDesign, merge_tables
-from repro.utils.rng import shard_step_generator, spawn_generator
+from repro.utils.rng import shard_seed, shard_step_generator, spawn_generator, step_generator
 
 __all__ = ["ClosedLoop"]
 
@@ -297,6 +297,10 @@ class ClosedLoop:
         # Base seed of the shard streams; fixed at the first run/step call
         # so chunked runs continue the exact single-run schedule.
         self._stream_base: int | None = None
+        # Per-shard seeds derived from the current base (cached: the shard
+        # half of the hash chain is base-dependent only, so deriving it per
+        # step would hash the same labels every step).
+        self._shard_seeds: List[int] | None = None
         self._pool_token_counter = 0
 
     @property
@@ -337,16 +341,18 @@ class ClosedLoop:
         else:
             source = spawn_generator(rng)
             self._stream_base = int(source.integers(_MAX_SEED))
+        self._shard_seeds = None
         return self._stream_base
 
     def _step_rngs(self, k: int) -> List[np.random.Generator]:
         """Return the per-shard generators of step ``k``."""
         base = self._stream_base
         assert base is not None
-        return [
-            shard_step_generator(base, shard, k)
-            for shard in range(self._plan.num_shards)
-        ]
+        if self._shard_seeds is None:
+            self._shard_seeds = [
+                shard_seed(base, shard) for shard in range(self._plan.num_shards)
+            ]
+        return [step_generator(seed, k) for seed in self._shard_seeds]
 
     def run(
         self,

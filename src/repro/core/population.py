@@ -196,6 +196,28 @@ class CreditPopulation:
         return self._terms
 
     @property
+    def sampler(self) -> IncomeSampler:
+        """Return the income sampler (and its per-(year, race) CDF cache).
+
+        The trial-batched engine draws incomes itself (it replays the
+        sharded draw order over stacked trials) and reads the sampler
+        here rather than building another one per run.
+        """
+        return self._sampler
+
+    def shard_race_partition(self) -> List[Dict[Race, np.ndarray]]:
+        """Return, per canonical shard, the shard-local race index arrays.
+
+        Entry ``s`` maps each race to the indices of its members *within*
+        shard ``s`` (re-based to the shard's ``lo``), in the exact layout
+        the sharded income draw consumes.  The trial-batched engine reads
+        this to replay every shard's draw order without driving
+        ``begin_step``.  The arrays are the population's own precomputed
+        partition — callers must not mutate them.
+        """
+        return self._shard_race_indices
+
+    @property
     def current_affordability(self) -> np.ndarray:
         """Return the private states ``x_i(k)`` of the current step."""
         if self._current_affordability is None:

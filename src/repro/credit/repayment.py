@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
-from scipy.stats import norm
+from scipy.special import ndtr
 
 from repro.utils.rng import spawn_generator
 from repro.utils.validation import require_positive
@@ -52,9 +52,17 @@ class GaussianRepaymentModel:
 
         States at or below zero repay with probability zero, per the first
         branch of equation (11).
+
+        The probit link is evaluated through :func:`scipy.special.ndtr` —
+        the exact C kernel ``scipy.stats.norm.cdf`` dispatches to, minus the
+        ``rv_continuous`` argument-checking machinery that dominates the
+        call at per-shard sizes.  The replacement is bit-identical (pinned
+        by a regression test and the engine goldens) and preserves shape:
+        any input dimensionality is supported, so the trial-batched engine
+        can evaluate a whole ``(trials, users)`` block in one call.
         """
         states = np.atleast_1d(np.asarray(affordability, dtype=float))
-        probabilities = norm.cdf(self.sensitivity * states)
+        probabilities = ndtr(self.sensitivity * states)
         probabilities = np.where(states <= 0.0, 0.0, probabilities)
         return probabilities
 

@@ -16,6 +16,7 @@ once and every figure module can consume the shared
 costs a single pass.
 """
 
+from repro.experiments.batch import BatchedTrialRunner
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.runner import ExperimentResult, TrialResult, run_experiment, run_trial
 from repro.experiments.table1_scorecard import Table1Result, table1_scorecard_result
@@ -37,6 +38,7 @@ from repro.experiments.extensions import (
 )
 
 __all__ = [
+    "BatchedTrialRunner",
     "CaseStudyConfig",
     "TrialResult",
     "ExperimentResult",

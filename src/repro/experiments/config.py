@@ -93,6 +93,19 @@ class CaseStudyConfig:
         Seed each yearly refit's Newton iteration at the previous year's
         parameters.  Opt-in (changes the iteration path, not the optimum),
         so it stays off the bit-exact reproduction path.
+    trial_batch:
+        Run all of an experiment's trials in lockstep through the
+        trial-batched tensor engine
+        (:class:`~repro.experiments.batch.BatchedTrialRunner`): the
+        per-trial populations are stacked into ``(trials, users)`` columns
+        and every deterministic per-step phase is fused across the trial
+        axis, while each trial keeps its own derived random streams, AI
+        system and refits — so every trial is bit-identical to its serial
+        :func:`~repro.experiments.runner.run_trial` twin.  Batching
+        amortises the fixed per-step dispatch cost without processes,
+        which is the winning strategy on few cores with many trials;
+        it takes precedence over ``parallel`` (and ignores
+        ``shard_parallel``) when enabled.
     """
 
     num_users: int = 1000
@@ -115,6 +128,7 @@ class CaseStudyConfig:
     shard_parallel: bool = False
     retrain_mode: str = "exact"
     warm_start: bool = False
+    trial_batch: bool = False
 
     def __post_init__(self) -> None:
         if self.history_mode not in ("full", "aggregate"):

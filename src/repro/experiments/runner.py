@@ -24,6 +24,17 @@ Python, which threads cannot overlap under the GIL) and falls back to the
 plain serial loop when the inputs cannot be pickled (e.g. a lambda policy
 factory) or the pool breaks at run time — threads would add concurrency
 hazards without adding speed, so serial is the only fallback.
+
+A third execution layout targets the single-core sweep: ``trial_batch``
+(config knob or ``run_experiment`` override) runs every trial in lockstep
+through the trial-batched tensor engine
+(:mod:`repro.experiments.batch`), which stacks the per-trial populations
+into ``(trials, users)`` columns and fuses the deterministic per-step
+math across the trial axis while each trial keeps its own derived random
+streams and refits.  Every batched trial is bit-identical to its serial
+:func:`run_trial` twin; batching takes precedence over ``parallel`` when
+both are enabled (it amortises dispatch without processes, the winning
+strategy on few cores with many trials).
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from repro.credit.mortgage import MortgageTerms
 from repro.credit.repayment import GaussianRepaymentModel
 from repro.data.census import IncomeTable, Race, default_income_table
 from repro.data.synthetic import PopulationSpec, generate_population
+from repro.experiments.batch import run_trials_batched
 from repro.experiments.config import CaseStudyConfig
 from repro.utils.rng import derive_seed
 
@@ -406,8 +418,6 @@ def run_trial(
             shard_parallel=pooled,
             retrain_mode=config.retrain_mode,
         )
-        user_rates = None
-        group_rates = history.group_default_rate_series()
     else:
         history = loop.run(
             config.num_steps,
@@ -416,6 +426,23 @@ def run_trial(
             shard_parallel=pooled,
             retrain_mode=config.retrain_mode,
         )
+    return _trial_result_from_history(config, history, population)
+
+
+def _trial_result_from_history(
+    config: CaseStudyConfig,
+    history: SimulationHistory | AggregateHistory,
+    population: CreditPopulation,
+) -> TrialResult:
+    """Assemble a :class:`TrialResult` from a recorded trial history.
+
+    Shared by the serial trial loop and the trial-batched engine, so both
+    derive the group series through the identical calls.
+    """
+    if isinstance(history, AggregateHistory):
+        user_rates = None
+        group_rates = history.group_default_rate_series()
+    else:
         user_rates = history.running_default_rates()
         group_rates = group_average_series(user_rates, population.groups)
     return TrialResult(
@@ -488,6 +515,7 @@ def run_experiment(
     shard_parallel: bool | None = None,
     retrain_mode: str | None = None,
     warm_start: bool | None = None,
+    trial_batch: bool | None = None,
     keep_trials: bool = True,
 ) -> ExperimentResult:
     """Run all trials of the case study and return the aggregate result.
@@ -520,6 +548,15 @@ def run_experiment(
     retrain_mode, warm_start:
         Sufficient-statistics retraining overrides forwarded to every
         trial (``None`` defers to the config); see :func:`run_trial`.
+    trial_batch:
+        Run every trial in lockstep through the trial-batched tensor
+        engine (``None`` defers to ``config.trial_batch``); see
+        :class:`~repro.experiments.batch.BatchedTrialRunner`.  Every trial
+        is bit-identical to its serial twin.  Batching amortises per-step
+        dispatch across trials in one process, so it takes precedence
+        over ``parallel`` trial pooling, and the intra-trial
+        ``num_shards``/``shard_parallel`` knobs are ignored (the batched
+        engine always walks the canonical shard streams in-process).
     keep_trials:
         Retain the per-trial results on the returned
         :class:`ExperimentResult` (default).  ``False`` drops each trial
@@ -529,12 +566,33 @@ def run_experiment(
         (``trials``, ``stacked_user_series``) are then unavailable.
     """
     use_parallel = config.parallel if parallel is None else bool(parallel)
+    use_batch = config.trial_batch if trial_batch is None else bool(trial_batch)
     workers = config.max_workers if max_workers is None else max_workers
     if workers is not None and workers <= 0:
         raise ValueError("max_workers must be positive when given")
     worker_count = min(config.num_trials, workers or os.cpu_count() or 1)
     moments = GroupSeriesMoments()
     trials: List[TrialResult] | None = None
+    if use_batch:
+        trials = _run_trials_batched(
+            config,
+            policy_factory,
+            terms,
+            income_table,
+            history_mode,
+            retrain_mode,
+            warm_start,
+            moments,
+            keep_trials,
+        )
+        return ExperimentResult(
+            config=config,
+            trials=tuple(trials),
+            group_moments=moments,
+            resolved_history_mode=(
+                config.history_mode if history_mode is None else history_mode
+            ),
+        )
     if use_parallel and config.num_trials > 1 and worker_count > 1:
         trials = _try_run_trials_in_processes(
             config,
@@ -577,6 +635,52 @@ def run_experiment(
             config.history_mode if history_mode is None else history_mode
         ),
     )
+
+
+def _run_trials_batched(
+    config: CaseStudyConfig,
+    policy_factory: PolicyFactory | None,
+    terms: MortgageTerms | None,
+    income_table: IncomeTable | None,
+    history_mode: str | None,
+    retrain_mode: str | None,
+    warm_start: bool | None,
+    moments: GroupSeriesMoments,
+    keep_trials: bool,
+) -> List[TrialResult]:
+    """Run every trial through the trial-batched engine.
+
+    Mirrors :func:`run_trial`'s override handling (mode validation, the
+    ``retrain_mode``/``warm_start`` merge into the config the policy
+    factory reads) and its result assembly, so a batched trial is the
+    serial trial, bit for bit, minus the per-trial dispatch overhead.
+    """
+    mode = config.history_mode if history_mode is None else history_mode
+    if mode not in ("full", "aggregate"):
+        raise ValueError(f'history_mode must be "full" or "aggregate", got {mode!r}')
+    if retrain_mode is not None or warm_start is not None:
+        config = replace(
+            config,
+            retrain_mode=(
+                config.retrain_mode if retrain_mode is None else retrain_mode
+            ),
+            warm_start=config.warm_start if warm_start is None else bool(warm_start),
+        )
+    factory = policy_factory or default_policy_factory
+    outcomes = run_trials_batched(
+        config,
+        factory,
+        terms=terms,
+        income_table=income_table,
+        history_mode=mode,
+    )
+    trials: List[TrialResult] = []
+    for history, population in outcomes:
+        trial = _trial_result_from_history(config, history, population)
+        moments.update(trial.group_default_rates)
+        if keep_trials:
+            trials.append(trial)
+    return trials
 
 
 def _try_run_trials_in_processes(

@@ -23,6 +23,27 @@ __all__ = ["LogisticFit", "LogisticRegression"]
 
 _CLIP = 30.0  # logit clipping to keep exp() finite
 
+# The raw gufunc behind ``np.linalg.solve`` for a single right-hand side.
+# The yearly refits solve thousands of tiny (3, 3) Newton systems, where the
+# public wrapper's argument checking costs several times the LAPACK call;
+# invoking the gufunc directly produces the identical bits (it IS the
+# computation the wrapper performs).  Guarded: the import is best-effort
+# (private numpy module), and a non-finite result — the raw gufunc's
+# signature for a singular system, which the wrapper would turn into
+# ``LinAlgError`` — reroutes through the public wrapper so the exception
+# semantics are unchanged.
+try:  # pragma: no cover - depends on the numpy build
+    from numpy.linalg import _umath_linalg as _raw_linalg_module
+
+    # Resolve the gufunc itself defensively: numpy has reshaped this
+    # private module before, so a build where it exists without ``solve1``
+    # must land on the public wrapper below, not crash every fit.
+    _raw_solve1 = getattr(_raw_linalg_module, "solve1", None)
+    if _raw_solve1 is not None and not callable(_raw_solve1):
+        _raw_solve1 = None
+except Exception:  # pragma: no cover - older/newer numpy layouts
+    _raw_solve1 = None
+
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function."""
@@ -187,59 +208,94 @@ class LogisticRegression:
         converged = False
         stalled = False
         iterations = 0
-        for iterations in range(1, self._max_iterations + 1):
-            z = design @ theta
-            p = _sigmoid(z)
-            gradient = design.T @ (weights * (y - p)) - penalty * theta
-            w = np.maximum(weights * p * (1.0 - p), 1e-10)
-            hessian = (design * w[:, None]).T @ design + np.diag(
-                np.maximum(penalty, 1e-12)
-            )
-            try:
-                update = np.linalg.solve(hessian, gradient)
-            except np.linalg.LinAlgError:
-                update = gradient / max(float(np.max(np.abs(np.diag(hessian)))), 1.0)
-            if damped:
-                if float(np.max(np.abs(update))) < self._tolerance:
-                    # A full Newton step already below tolerance: at the
-                    # optimum (the best case of a warm start — accept
-                    # without demanding a float-representable improvement),
-                    # unless the gradient says this is a saturation
-                    # plateau rather than stationarity.
-                    if float(np.max(np.abs(gradient))) > gradient_scale:
+        # The linear predictor of the CURRENT iterate is computed exactly
+        # once per distinct theta (here, and at the bottom of the loop after
+        # each accepted step) and shared by the sigmoid, the damped path's
+        # log-likelihood and the final reported log-likelihood — the retired
+        # code recomputed ``design @ theta`` and its clip inside
+        # ``_log_likelihood`` per damped iteration and once more for the
+        # final fit.  Same operations on the same values, so every iterate
+        # is byte-identical (asserted in tests/scoring/test_logistic.py).
+        z = design @ theta
+        # Loop-invariant pieces, hoisted: the ridge diagonal added to every
+        # Hessian and the transposed design are constants of the fit, so
+        # rebuilding them per Newton iteration only cost dispatch.  The
+        # per-iteration arithmetic is unchanged operation for operation.
+        # The errstate guard covers the raw solve gufunc (whose singular
+        # signature is a quiet nan, checked after each solve) — entered
+        # once per fit rather than per iteration; none of the other loop
+        # operations can raise floating-point warnings (the linear
+        # predictor is clipped before the exponentials).
+        design_transpose = design.T
+        penalty_diagonal = np.diag(np.maximum(penalty, 1e-12))
+        with np.errstate(all="ignore"):
+            for iterations in range(1, self._max_iterations + 1):
+                z_clipped = z.clip(-_CLIP, _CLIP)
+                exp_negative = np.exp(-z_clipped)
+                p = 1.0 / (1.0 + exp_negative)  # _sigmoid(z), sharing the clip
+                gradient = design_transpose @ (weights * (y - p)) - penalty * theta
+                w = np.maximum(weights * p * (1.0 - p), 1e-10)
+                hessian = (design * w[:, None]).T @ design + penalty_diagonal
+                update = None
+                if _raw_solve1 is not None:
+                    candidate = _raw_solve1(
+                        hessian, gradient, signature="dd->d"
+                    )
+                    if np.isfinite(candidate).all():
+                        update = candidate
+                if update is None:
+                    try:
+                        update = np.linalg.solve(hessian, gradient)
+                    except np.linalg.LinAlgError:
+                        update = gradient / max(
+                            float(np.max(np.abs(np.diag(hessian)))), 1.0
+                        )
+                if damped:
+                    if float(np.abs(update).max()) < self._tolerance:
+                        # A full Newton step already below tolerance: at the
+                        # optimum (the best case of a warm start — accept
+                        # without demanding a float-representable
+                        # improvement), unless the gradient says this is a
+                        # saturation plateau rather than stationarity.
+                        if float(np.abs(gradient).max()) > gradient_scale:
+                            stalled = True
+                            break
+                        theta = theta + update
+                        z = design @ theta
+                        converged = True
+                        break
+                    # The Newton direction is an ascent direction (the
+                    # Hessian is positive definite), so some halved step
+                    # improves the objective unless the float surface is
+                    # locally flat — in which case the warm start is
+                    # abandoned below.
+                    current = self._penalised_log_likelihood(
+                        z_clipped, y, weights, theta, penalty, exp_negative
+                    )
+                    chosen = None
+                    step = update
+                    for _ in range(30):
+                        if (
+                            self._log_likelihood(
+                                design, y, weights, theta + step, penalty
+                            )
+                            > current
+                        ):
+                            chosen = step
+                            break
+                        step = 0.5 * step
+                    if chosen is None:
                         stalled = True
                         break
-                    theta = theta + update
+                    update = chosen
+                theta = theta + update
+                z = design @ theta
+                if float(np.abs(update).max()) < self._tolerance:
+                    if damped and float(np.abs(gradient).max()) > gradient_scale:
+                        stalled = True  # tiny halved step far from stationarity
+                        break
                     converged = True
                     break
-                # The Newton direction is an ascent direction (the Hessian
-                # is positive definite), so some halved step improves the
-                # objective unless the float surface is locally flat — in
-                # which case the warm start is abandoned below.
-                current = self._log_likelihood(design, y, weights, theta, penalty)
-                chosen = None
-                step = update
-                for _ in range(30):
-                    if (
-                        self._log_likelihood(
-                            design, y, weights, theta + step, penalty
-                        )
-                        > current
-                    ):
-                        chosen = step
-                        break
-                    step = 0.5 * step
-                if chosen is None:
-                    stalled = True
-                    break
-                update = chosen
-            theta = theta + update
-            if float(np.max(np.abs(update))) < self._tolerance:
-                if damped and float(np.max(np.abs(gradient))) > gradient_scale:
-                    stalled = True  # tiny halved step far from stationarity
-                    break
-                converged = True
-                break
 
         if damped and (stalled or not converged):
             return self.fit(features, labels, sample_weights=sample_weights)
@@ -249,7 +305,9 @@ class LogisticRegression:
             intercept=float(theta[0]),
             converged=converged,
             iterations=iterations,
-            log_likelihood=self._log_likelihood(design, y, weights, theta, penalty),
+            log_likelihood=self._penalised_log_likelihood(
+                z.clip(-_CLIP, _CLIP), y, weights, theta, penalty
+            ),
         )
         return self._fit
 
@@ -277,6 +335,28 @@ class LogisticRegression:
         )
 
     @staticmethod
+    def _penalised_log_likelihood(
+        z_clipped: np.ndarray,
+        y: np.ndarray,
+        weights: np.ndarray,
+        theta: np.ndarray,
+        penalty: np.ndarray,
+        exp_negative: np.ndarray | None = None,
+    ) -> float:
+        """Penalised log-likelihood from a pre-clipped linear predictor.
+
+        ``exp_negative`` (``exp(-z_clipped)``) may be shared by a caller
+        that already computed it for the sigmoid; passing it changes no
+        bits — it is the identical array the fallback recomputes.
+        """
+        if exp_negative is None:
+            exp_negative = np.exp(-z_clipped)
+        log_p = -np.log1p(exp_negative)
+        log_one_minus_p = -np.log1p(np.exp(z_clipped))
+        likelihood = float(np.sum(weights * (y * log_p + (1.0 - y) * log_one_minus_p)))
+        return likelihood - 0.5 * float(np.sum(penalty * theta**2))
+
+    @staticmethod
     def _log_likelihood(
         design: np.ndarray,
         y: np.ndarray,
@@ -285,10 +365,9 @@ class LogisticRegression:
         penalty: np.ndarray,
     ) -> float:
         z = np.clip(design @ theta, -_CLIP, _CLIP)
-        log_p = -np.log1p(np.exp(-z))
-        log_one_minus_p = -np.log1p(np.exp(z))
-        likelihood = float(np.sum(weights * (y * log_p + (1.0 - y) * log_one_minus_p)))
-        return likelihood - 0.5 * float(np.sum(penalty * theta**2))
+        return LogisticRegression._penalised_log_likelihood(
+            z, y, weights, theta, penalty
+        )
 
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Return the linear predictor (log odds) for each row of ``features``."""

@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.scoring.logistic import _CLIP
 
-__all__ = ["CompressedDesign", "merge_tables"]
+__all__ = ["CompressedDesign", "merge_tables", "pack_rows"]
 
 _CODE_BIT = np.uint64(63)
 _LABEL_BIT = np.uint64(62)
@@ -70,6 +70,35 @@ def _binary_bits(values: np.ndarray, name: str) -> np.ndarray:
     ):
         raise ValueError(f"{name} must be binary (0 or 1)")
     return bits
+
+
+def pack_rows(
+    income_codes: np.ndarray,
+    previous_rates: np.ndarray,
+    labels: np.ndarray,
+) -> np.ndarray:
+    """Pack ``(code, rate, label)`` rows into validated ``uint64`` keys.
+
+    The single definition of the key bit layout (rate bits below, code and
+    label in bits 63/62 — see the module docstring), shared by
+    :meth:`CompressedDesign.from_arrays` and the trial-batched engine's
+    fused whole-experiment packing.  Works elementwise on any shape: a
+    ``(trials, users)`` block packs in one pass and every row equals the
+    per-trial 1-D packing bit for bit.
+    """
+    rates = np.asarray(previous_rates, dtype=float)
+    # ``-0.0 + 0.0 == +0.0`` under round-to-nearest: normalising the sign
+    # of zero keeps the rate's sign bit clear for the code bit.  The
+    # addition also materialises a contiguous float64 copy for the bit
+    # view below.
+    rate_bits = (rates + 0.0).view(np.uint64)
+    if rates.size and int(rate_bits.max()) > int(_ONE_BITS):
+        raise ValueError("previous_rates must be finite and lie in [0, 1]")
+    return (
+        rate_bits
+        | (_binary_bits(income_codes, "income_codes") << _CODE_BIT)
+        | (_binary_bits(labels, "labels") << _LABEL_BIT)
+    )
 
 
 @dataclass(frozen=True)
@@ -140,18 +169,7 @@ class CompressedDesign:
         label_array = np.asarray(labels).ravel()
         if not (codes.shape == rates.shape == label_array.shape):
             raise ValueError("income_codes, previous_rates and labels must align")
-        # ``-0.0 + 0.0 == +0.0`` under round-to-nearest: normalising the
-        # sign of zero keeps the rate's sign bit clear for the code bit.
-        # The addition also materialises a contiguous float64 copy for the
-        # bit view below.
-        rate_bits = (rates + 0.0).view(np.uint64)
-        if rates.size and int(rate_bits.max()) > int(_ONE_BITS):
-            raise ValueError("previous_rates must be finite and lie in [0, 1]")
-        keys = (
-            rate_bits
-            | (_binary_bits(codes, "income_codes") << _CODE_BIT)
-            | (_binary_bits(label_array, "labels") << _LABEL_BIT)
-        )
+        keys = pack_rows(codes, rates, label_array)
         if offered is not None:
             mask = np.asarray(offered, dtype=float).ravel() == 1.0
             if mask.shape != codes.shape:
@@ -160,6 +178,11 @@ class CompressedDesign:
             # exactly as the exact path's design matrix does) replaces
             # three gathers with one.
             keys = keys[mask]
+        return cls.from_key_array(keys)
+
+    @classmethod
+    def from_key_array(cls, keys: np.ndarray) -> "CompressedDesign":
+        """Compress pre-packed row keys (see :func:`pack_rows`) into a table."""
         unique_keys, counts = np.unique(keys, return_counts=True)
         return cls(keys=unique_keys, counts=counts.astype(np.int64))
 

@@ -20,6 +20,7 @@ __all__ = [
     "spawn_generators",
     "shard_seed",
     "shard_step_generator",
+    "step_generator",
 ]
 
 _MAX_SEED = 2**63 - 1
@@ -46,12 +47,14 @@ def derive_seed(seed: int, *labels: object) -> int:
     int
         A non-negative integer strictly below ``2**63 - 1``.
     """
-    digest = hashlib.sha256()
-    digest.update(str(int(seed)).encode("utf-8"))
-    for label in labels:
-        digest.update(b"/")
-        digest.update(repr(label).encode("utf-8"))
-    return int.from_bytes(digest.digest()[:8], "big") % _MAX_SEED
+    # SHA-256 over the concatenated byte stream; feeding the hash one
+    # joined payload produces the identical digest as the incremental
+    # per-label updates it replaces, with fewer C calls on the hot
+    # per-step stream derivations.
+    payload = str(int(seed)).encode("utf-8") + b"".join(
+        b"/" + repr(label).encode("utf-8") for label in labels
+    )
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") % _MAX_SEED
 
 
 def spawn_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -80,6 +83,23 @@ def shard_seed(seed: int, shard: int) -> int:
     return derive_seed(seed, "shard", shard)
 
 
+def step_generator(shard_seed_value: int, step: int) -> np.random.Generator:
+    """Return the generator of step ``step`` for a pre-derived shard seed.
+
+    ``shard_seed_value`` is the output of :func:`shard_seed`.  Hot loops
+    (the closed loop's per-step stream derivation, the trial-batched
+    engine's ``(trial, shard, step)`` walk) derive the shard seeds once and
+    pay only the per-step half of the hash chain here; the stream is
+    exactly :func:`shard_step_generator`'s.  ``Generator(PCG64(seed))`` is
+    what ``default_rng(seed)`` constructs for an integer seed, minus its
+    argument dispatch — the identical stream, measurably cheaper in a loop
+    that builds one generator per ``(trial, shard, step)``.
+    """
+    return np.random.Generator(
+        np.random.PCG64(derive_seed(shard_seed_value, "step", step))
+    )
+
+
 def shard_step_generator(
     seed: int, shard: int, step: int
 ) -> np.random.Generator:
@@ -93,7 +113,7 @@ def shard_step_generator(
     a single run.  Within one step the population consumes the generator
     sequentially (``begin_step`` first, then ``respond``).
     """
-    return np.random.default_rng(derive_seed(shard_seed(seed, shard), "step", step))
+    return step_generator(shard_seed(seed, shard), step)
 
 
 def spawn_generators(

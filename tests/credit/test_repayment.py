@@ -34,6 +34,36 @@ class TestRepaymentProbability:
         with pytest.raises(ValueError):
             GaussianRepaymentModel(sensitivity=0.0)
 
+    def test_ndtr_bit_identical_to_norm_cdf(self):
+        # The hot path evaluates the probit through scipy.special.ndtr;
+        # it must reproduce the retired scipy.stats.norm.cdf call bit for
+        # bit across the whole realistic state range (plus extremes), or
+        # every engine golden would shift.
+        model = GaussianRepaymentModel(sensitivity=5.0)
+        rng = np.random.default_rng(1234)
+        states = np.concatenate(
+            [
+                rng.uniform(-2.0, 1.0, size=5000),
+                np.array([-1e6, -50.0, -1e-12, 0.0, 1e-12, 0.5, 50.0, 1e6]),
+            ]
+        )
+        reference = np.where(states <= 0.0, 0.0, norm.cdf(5.0 * states))
+        np.testing.assert_array_equal(
+            model.repayment_probability(states), reference
+        )
+
+    def test_probability_supports_batched_2d_states(self):
+        # The trial-batched engine evaluates (trials, users) blocks in one
+        # call; rows must equal the per-trial 1-D evaluations bitwise.
+        model = GaussianRepaymentModel()
+        states = np.random.default_rng(5).uniform(-1.0, 1.0, size=(3, 40))
+        batched = model.repayment_probability(states)
+        assert batched.shape == states.shape
+        for row in range(states.shape[0]):
+            np.testing.assert_array_equal(
+                batched[row], model.repayment_probability(states[row])
+            )
+
 
 class TestSampleRepayments:
     def test_no_mortgage_means_no_repayment(self):

@@ -47,6 +47,52 @@ class TestSample:
         assert first_bracket_share == pytest.approx(shares[0], abs=0.02)
 
 
+class TestCachedBracketCdf:
+    """The cached-CDF path replays the retired generator.choice draws exactly."""
+
+    def _reference_sample(self, sampler, year, race, size, generator):
+        # The pre-cache implementation, verbatim: per-call share lookup,
+        # generator.choice with p, then in-bracket uniforms.
+        shares = sampler.table.bracket_shares(year, race)
+        brackets = generator.choice(len(INCOME_BRACKETS), size=size, p=shares)
+        uniforms = generator.random(size)
+        lows = np.array([low for low, _ in INCOME_BRACKETS], dtype=float)
+        highs = np.array([high for _, high in INCOME_BRACKETS], dtype=float)
+        return lows[brackets] + uniforms * (highs[brackets] - lows[brackets])
+
+    def test_sample_bit_identical_to_retired_choice_call(self, sampler):
+        for year, race, size in ((2002, Race.WHITE, 1000), (2015, Race.BLACK, 37), (2020, Race.ASIAN, 512)):
+            new = sampler.sample(year, race, size, np.random.default_rng(314))
+            old = self._reference_sample(
+                sampler, year, race, size, np.random.default_rng(314)
+            )
+            np.testing.assert_array_equal(new, old)
+
+    def test_generator_state_matches_after_sampling(self, sampler):
+        # Downstream draws (the repayment phase shares the shard stream)
+        # must see the identical generator state the choice-based sampler
+        # left behind.
+        g_new, g_old = np.random.default_rng(77), np.random.default_rng(77)
+        sampler.sample(2010, Race.WHITE, 333, g_new)
+        self._reference_sample(sampler, 2010, Race.WHITE, 333, g_old)
+        np.testing.assert_array_equal(g_new.random(64), g_old.random(64))
+
+    def test_cdf_is_cached_and_validated_once(self, sampler):
+        first = sampler.bracket_cdf(2010, Race.WHITE)
+        second = sampler.bracket_cdf(2010, Race.WHITE)
+        assert first is second
+        assert first[-1] == 1.0
+
+    def test_incomes_from_uniforms_matches_sample(self, sampler):
+        generator = np.random.default_rng(5)
+        block = generator.random(2 * 200)
+        from_uniforms = sampler.incomes_from_uniforms(
+            2012, Race.BLACK, block[:200], block[200:]
+        )
+        direct = sampler.sample(2012, Race.BLACK, 200, np.random.default_rng(5))
+        np.testing.assert_array_equal(from_uniforms, direct)
+
+
 class TestSamplePopulation:
     def test_one_income_per_user(self, sampler, rng):
         population = generate_population(PopulationSpec(size=50), rng)

@@ -1,0 +1,295 @@
+"""Equivalence suite: the trial-batched engine against the pinned stream.
+
+The trial-batched engine (:mod:`repro.experiments.batch`) runs all of an
+experiment's trials in lockstep through ``(trials, users)`` tensors.  Its
+contract is that every batched trial row is **bit-identical** to its serial
+:func:`~repro.experiments.runner.run_trial` twin:
+
+* at 200 users the batched experiment must reproduce the same golden
+  SHA-256 digests as the serial engine
+  (:data:`tests.experiments.test_engine_equivalence.ENGINE_GOLDEN` — one
+  set of hashes pinning four engine generations);
+* at paper scale (1000 users, 5 trials) batched and serial runs must agree
+  array-for-array across every ``history_mode`` × ``retrain_mode`` cell;
+* the fused fast paths (stacked decide/retrain for the default stack) and
+  the generic per-trial fallback (custom policy factories) must both hold
+  the contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ai_system import CreditScoringSystem
+from repro.core.history import FullHistoryRequiredError
+from repro.credit.lender import Lender
+from repro.data.census import Race
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.runner import run_experiment, run_trial
+
+from tests.experiments.test_engine_equivalence import ENGINE_GOLDEN, digest
+
+
+@pytest.fixture(scope="module")
+def small_config() -> CaseStudyConfig:
+    return CaseStudyConfig().scaled(num_users=200, num_trials=2)
+
+
+@pytest.fixture(scope="module")
+def paper_config() -> CaseStudyConfig:
+    return CaseStudyConfig()  # 1000 users, 5 trials — the paper's scale
+
+
+def _assert_full_trials_identical(serial_trial, batched_trial):
+    serial_history, batched_history = serial_trial.history, batched_trial.history
+    assert np.array_equal(
+        serial_history.decisions_matrix(), batched_history.decisions_matrix()
+    )
+    assert np.array_equal(
+        serial_history.actions_matrix(), batched_history.actions_matrix()
+    )
+    assert np.array_equal(
+        serial_history.public_feature_matrix("income"),
+        batched_history.public_feature_matrix("income"),
+    )
+    assert np.array_equal(
+        serial_trial.user_default_rates, batched_trial.user_default_rates
+    )
+    assert np.array_equal(
+        serial_history.observation_series("user_default_rates"),
+        batched_history.observation_series("user_default_rates"),
+    )
+    assert np.array_equal(
+        serial_history.observation_series("portfolio_rate"),
+        batched_history.observation_series("portfolio_rate"),
+    )
+    assert np.array_equal(
+        serial_history.running_action_averages(),
+        batched_history.running_action_averages(),
+    )
+    assert np.array_equal(
+        serial_history.approval_rates(), batched_history.approval_rates()
+    )
+    assert np.array_equal(serial_trial.races, batched_trial.races)
+
+
+def _assert_group_series_identical(serial_trial, batched_trial):
+    for race in Race:
+        assert np.array_equal(
+            serial_trial.group_default_rates[race],
+            batched_trial.group_default_rates[race],
+        )
+        assert np.array_equal(
+            serial_trial.group_action_averages()[race],
+            batched_trial.group_action_averages()[race],
+        )
+        assert np.array_equal(
+            serial_trial.group_approval_series()[race],
+            batched_trial.group_approval_series()[race],
+        )
+    assert np.array_equal(
+        serial_trial.approval_rate_series(), batched_trial.approval_rate_series()
+    )
+
+
+class TestBatchedEngineGoldens:
+    """The batched engine reproduces the pinned golden stream exactly."""
+
+    def test_batched_experiment_matches_engine_goldens(self, small_config):
+        result = run_experiment(small_config, trial_batch=True)
+        observed = {}
+        for index, trial in enumerate(result.trials):
+            history = trial.history
+            observed[f"trial{index}_decisions"] = digest(history.decisions_matrix())
+            observed[f"trial{index}_actions"] = digest(history.actions_matrix())
+            observed[f"trial{index}_income"] = digest(
+                history.public_feature_matrix("income")
+            )
+            observed[f"trial{index}_user_rates"] = digest(trial.user_default_rates)
+            observed[f"trial{index}_obs_rates"] = digest(
+                history.observation_series("user_default_rates")
+            )
+            observed[f"trial{index}_portfolio"] = digest(
+                history.observation_series("portfolio_rate")
+            )
+            observed[f"trial{index}_running_actions"] = digest(
+                history.running_action_averages()
+            )
+            observed[f"trial{index}_approvals"] = digest(history.approval_rates())
+            for race in Race:
+                observed[f"trial{index}_group_{race.name}"] = digest(
+                    trial.group_default_rates[race]
+                )
+        assert observed == ENGINE_GOLDEN
+
+    def test_batched_incremental_metrics_match_recompute(self, small_config):
+        # The precomputed-statistics ingest rows must satisfy the history's
+        # own cross-check recomputations bit for bit.
+        result = run_experiment(small_config, trial_batch=True)
+        for trial in result.trials:
+            history = trial.history
+            assert np.array_equal(
+                history.running_default_rates(),
+                history.recompute_running_default_rates(),
+            )
+            assert np.array_equal(
+                history.running_action_averages(),
+                history.recompute_running_action_averages(),
+            )
+            assert np.array_equal(
+                history.approval_rates(), history.recompute_approval_rates()
+            )
+
+
+class TestBatchedMatchesSerialAcrossModes:
+    """Paper scale, every history_mode x retrain_mode cell, bit for bit."""
+
+    @pytest.mark.parametrize("retrain_mode", ["exact", "compressed"])
+    def test_full_mode(self, paper_config, retrain_mode):
+        serial = run_experiment(paper_config, retrain_mode=retrain_mode)
+        batched = run_experiment(
+            paper_config, retrain_mode=retrain_mode, trial_batch=True
+        )
+        assert len(serial.trials) == len(batched.trials) == paper_config.num_trials
+        for serial_trial, batched_trial in zip(serial.trials, batched.trials):
+            _assert_full_trials_identical(serial_trial, batched_trial)
+            _assert_group_series_identical(serial_trial, batched_trial)
+
+    @pytest.mark.parametrize("retrain_mode", ["exact", "compressed"])
+    def test_aggregate_mode(self, paper_config, retrain_mode):
+        serial = run_experiment(
+            paper_config, history_mode="aggregate", retrain_mode=retrain_mode
+        )
+        batched = run_experiment(
+            paper_config,
+            history_mode="aggregate",
+            retrain_mode=retrain_mode,
+            trial_batch=True,
+        )
+        for serial_trial, batched_trial in zip(serial.trials, batched.trials):
+            _assert_group_series_identical(serial_trial, batched_trial)
+            assert np.array_equal(
+                serial_trial.history.portfolio_rate_series(),
+                batched_trial.history.portfolio_rate_series(),
+            )
+            assert np.array_equal(
+                serial_trial.history.rate_histogram_series(),
+                batched_trial.history.rate_histogram_series(),
+            )
+            assert np.array_equal(
+                serial_trial.history.rate_low_count_series(),
+                batched_trial.history.rate_low_count_series(),
+            )
+            with pytest.raises(FullHistoryRequiredError):
+                batched_trial.history.decisions_matrix()
+
+    def test_warm_start_cell(self, small_config):
+        serial = run_experiment(
+            small_config, retrain_mode="compressed", warm_start=True
+        )
+        batched = run_experiment(
+            small_config, retrain_mode="compressed", warm_start=True, trial_batch=True
+        )
+        for serial_trial, batched_trial in zip(serial.trials, batched.trials):
+            _assert_full_trials_identical(serial_trial, batched_trial)
+
+
+class TestBatchedRunnerSurface:
+    """Knob plumbing and the generic (non-default-stack) fallback."""
+
+    def test_custom_policy_factory_takes_generic_path(self, small_config):
+        # A subclass breaks the exact-type fast-path check, sending the run
+        # down the per-trial decide/update calls — still bit-identical.
+        class LoggingLender(Lender):
+            pass
+
+        def factory(config, population):
+            return CreditScoringSystem(
+                LoggingLender(
+                    cutoff=config.cutoff, warm_up_rounds=config.warm_up_rounds
+                )
+            )
+
+        serial = run_experiment(small_config, policy_factory=factory)
+        batched = run_experiment(
+            small_config, policy_factory=factory, trial_batch=True
+        )
+        for serial_trial, batched_trial in zip(serial.trials, batched.trials):
+            _assert_full_trials_identical(serial_trial, batched_trial)
+        # The subclassed lender behaves like the default one, so the run
+        # must also equal the fast-path batched result.
+        fast = run_experiment(small_config, trial_batch=True)
+        for fast_trial, batched_trial in zip(fast.trials, batched.trials):
+            _assert_full_trials_identical(fast_trial, batched_trial)
+
+    def test_config_knob_enables_batching(self, small_config):
+        config = CaseStudyConfig(
+            num_users=small_config.num_users,
+            num_trials=small_config.num_trials,
+            trial_batch=True,
+        )
+        batched = run_experiment(config)
+        serial = run_experiment(small_config)
+        for serial_trial, batched_trial in zip(serial.trials, batched.trials):
+            assert np.array_equal(
+                serial_trial.user_default_rates, batched_trial.user_default_rates
+            )
+
+    def test_trial_batch_takes_precedence_over_parallel(self, small_config):
+        result = run_experiment(
+            small_config, trial_batch=True, parallel=True, max_workers=2
+        )
+        serial = run_experiment(small_config)
+        for serial_trial, batched_trial in zip(serial.trials, result.trials):
+            assert np.array_equal(
+                serial_trial.user_default_rates, batched_trial.user_default_rates
+            )
+
+    def test_single_trial_batch(self):
+        config = CaseStudyConfig(num_users=100, num_trials=1)
+        batched = run_experiment(config, trial_batch=True)
+        reference = run_trial(config, trial_index=0)
+        assert np.array_equal(
+            batched.trials[0].user_default_rates, reference.user_default_rates
+        )
+
+    def test_keep_trials_false_accumulates_moments(self, small_config):
+        kept = run_experiment(small_config, trial_batch=True)
+        dropped = run_experiment(small_config, trial_batch=True, keep_trials=False)
+        assert dropped.trials == ()
+        for race in Race:
+            # Welford vs batch mean: equal up to float reassociation.
+            assert np.allclose(
+                kept.group_mean_series()[race],
+                dropped.group_mean_series()[race],
+                rtol=0.0,
+                atol=1e-12,
+            )
+        assert np.allclose(
+            np.concatenate([kept.group_std_series()[race] for race in Race]),
+            np.concatenate([dropped.group_std_series()[race] for race in Race]),
+        )
+
+    def test_invalid_history_mode_is_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            run_experiment(small_config, trial_batch=True, history_mode="bogus")
+
+    def test_non_binary_decisions_are_rejected_loudly(self):
+        # The serial filter truncates fractional decisions before counting
+        # offers; rather than silently diverging from that corner, the
+        # batched engine refuses non-binary policies outright.
+        class FractionalSystem:
+            def decide(self, public_features, observation, k):
+                return np.full(public_features["income"].shape[0], 0.7)
+
+            def update(self, public_features, decisions, actions, observation, k):
+                return None
+
+        config = CaseStudyConfig(num_users=40, num_trials=2)
+        with pytest.raises(ValueError, match="0/1 decisions"):
+            run_experiment(
+                config,
+                policy_factory=lambda cfg, population: FractionalSystem(),
+                trial_batch=True,
+            )

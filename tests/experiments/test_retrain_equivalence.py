@@ -52,7 +52,7 @@ def _executions() -> tuple:
     override = os.environ.get("REPRO_TEST_EXECUTION")
     if override:
         return (override,)
-    return ("serial", "sharded")
+    return ("serial", "sharded", "batched")
 
 
 MODES = _modes()
@@ -63,6 +63,28 @@ def _shard_kwargs(execution: str) -> dict:
     if execution == "sharded":
         return dict(num_shards=2, shard_parallel=True)
     return {}
+
+
+def _execution_trial(config, trial_index: int, retrain_mode: str, execution: str):
+    """Run one trial under the given execution layout.
+
+    ``serial`` and ``sharded`` drive :func:`run_trial` directly;
+    ``batched`` routes through the trial-batched engine
+    (``run_experiment(..., trial_batch=True)``), whose trial rows are
+    bit-identical to their serial twins — so every retrain-mode guarantee
+    must hold there cell for cell too.
+    """
+    if execution == "batched":
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(config, retrain_mode=retrain_mode, trial_batch=True)
+        return result.trials[trial_index]
+    return run_trial(
+        config,
+        trial_index=trial_index,
+        retrain_mode=retrain_mode,
+        **_shard_kwargs(execution),
+    )
 
 
 def _final_card_points(trial_seed: int, num_users: int, mode: str, **kwargs):
@@ -106,9 +128,7 @@ class TestExactModeIsThePinnedPath:
         if "exact" not in MODES:
             pytest.skip("matrix cell covers compressed mode only")
         config = CaseStudyConfig().scaled(num_users=200, num_trials=2)
-        trial = run_trial(
-            config, trial_index=0, retrain_mode="exact", **_shard_kwargs(execution)
-        )
+        trial = _execution_trial(config, 0, "exact", execution)
         assert (
             digest(trial.history.decisions_matrix())
             == ENGINE_GOLDEN["trial0_decisions"]
@@ -127,12 +147,7 @@ class TestCompressedMatchesExact:
             pytest.skip("matrix cell covers exact mode only")
         config = CaseStudyConfig(num_users=1000, num_trials=1, seed=seed)
         exact = run_trial(config, trial_index=0, retrain_mode="exact")
-        compressed = run_trial(
-            config,
-            trial_index=0,
-            retrain_mode="compressed",
-            **_shard_kwargs(execution),
-        )
+        compressed = _execution_trial(config, 0, "compressed", execution)
         assert np.array_equal(
             exact.history.decisions_matrix(), compressed.history.decisions_matrix()
         )

@@ -38,6 +38,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--retrain-mode", "subsampled", "fig3"])
 
+    def test_trial_batch_flag_is_parsed(self):
+        assert not build_parser().parse_args(["fig3"]).trial_batch
+        assert build_parser().parse_args(["--trial-batch", "fig3"]).trial_batch
+
 
 class TestCommands:
     def test_fig2_prints_the_income_table(self, capsys):
@@ -70,6 +74,16 @@ class TestCommands:
                     "compressed",
                     "fig3",
                 ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cross-race ADR gap" in output
+
+    def test_fig3_runs_trial_batched(self, capsys):
+        assert (
+            main(
+                ["--users", "80", "--trials", "2", "--trial-batch", "fig3"]
             )
             == 0
         )
