@@ -37,6 +37,12 @@ experiment wall clocks (bit-identical by construction) at the 8-trial x
 20k-user x 20-step workload in both retrain modes, and at a 32-trial x
 1k-user Monte-Carlo sweep — the many-seeded-trials regime the batched
 engine targets.  Each side is a min of two runs.
+
+Finally the entry records the checkpoint-overhead timings
+(``measure_checkpoint_overhead``): a 20k-user x 400-step aggregate-mode
+trial with and without ``checkpoint_every=100`` crash-consistent
+snapshotting, plus the snapshot's on-disk size — the fault-tolerance
+budget is < 5% overhead at that cadence.
 """
 
 from __future__ import annotations
@@ -259,6 +265,72 @@ def measure_trial_batched() -> dict:
     return timings
 
 
+def measure_checkpoint_overhead() -> dict:
+    """Time a long-horizon trial with and without step checkpointing.
+
+    The fault-tolerance issue budgets checkpointing at < 5% of trial wall
+    clock with ``checkpoint_every=100``, so the workload must actually
+    cross several boundaries: 20k users x 400 steps (the income table
+    clamps past its last calibrated year) in ``history_mode="aggregate"``,
+    whose bounded snapshot (group series + filter counts + lender state,
+    no per-user history matrices) is the recommended pairing for long
+    runs.  Two readings are recorded: the end-to-end A/B delta (min of
+    two runs per side — noisy on a busy host) and the instrumented
+    fraction (wall clock inside :meth:`CheckpointSpec.write` over trial
+    wall clock — the regression target of
+    ``test_bench_checkpoint_overhead``), plus the on-disk snapshot size,
+    since the write cost is dominated by serialize + fsync of exactly
+    those bytes.
+    """
+    import tempfile
+
+    from repro.core import checkpoint as checkpoint_module
+    from repro.core.checkpoint import list_checkpoints
+    from repro.experiments.config import CaseStudyConfig
+    from repro.experiments.runner import run_trial
+
+    config = CaseStudyConfig(num_users=20_000, num_trials=1, end_year=2401)
+
+    def timed(**kwargs) -> float:
+        start = time.perf_counter()
+        run_trial(config, trial_index=0, history_mode="aggregate", **kwargs)
+        return time.perf_counter() - start
+
+    timed()  # warm caches
+    baseline = min(timed() for _ in range(2))
+    spent = {"seconds": 0.0}
+    original_write = checkpoint_module.CheckpointSpec.write
+
+    def instrumented_write(self, payload):
+        start = time.perf_counter()
+        try:
+            return original_write(self, payload)
+        finally:
+            spent["seconds"] += time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as snapshots:
+        checkpoint_module.CheckpointSpec.write = instrumented_write
+        try:
+            runs = []
+            for _ in range(2):
+                spent["seconds"] = 0.0
+                runs.append(timed(checkpoint_dir=snapshots, checkpoint_every=100))
+            checkpointed = min(runs)
+        finally:
+            checkpoint_module.CheckpointSpec.write = original_write
+        newest = list_checkpoints(snapshots, "trial-0000")[0][1]
+        snapshot_kb = newest.stat().st_size / 1024
+    return {
+        "checkpoint_trial_20k_x400_baseline_s": round(baseline, 4),
+        "checkpoint_trial_20k_x400_every100_s": round(checkpointed, 4),
+        "checkpoint_overhead_pct": round(
+            (checkpointed - baseline) / baseline * 100, 2
+        ),
+        "checkpoint_write_time_pct": round(spent["seconds"] / runs[-1] * 100, 2),
+        "checkpoint_snapshot_kb": round(snapshot_kb, 1),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="columnar-engine", help="entry label")
@@ -289,6 +361,11 @@ def main() -> None:
         action="store_true",
         help="skip the serial-vs-trial-batched experiment timings",
     )
+    parser.add_argument(
+        "--skip-checkpoint",
+        action="store_true",
+        help="skip the checkpoint-overhead timings",
+    )
     args = parser.parse_args()
 
     timings = measure(args.users)
@@ -298,6 +375,8 @@ def main() -> None:
         timings.update(measure_retrain(args.users))
     if not args.skip_trial_batch:
         timings.update(measure_trial_batched())
+    if not args.skip_checkpoint:
+        timings.update(measure_checkpoint_overhead())
     memory: dict = {}
     if not args.skip_memory:
         import mem_probe

@@ -270,6 +270,60 @@ def test_bench_trial_batched():
     assert speedup >= 2.0
 
 
+def test_bench_checkpoint_overhead(monkeypatch):
+    """Step checkpointing must cost < 5% of trial wall clock.
+
+    CI scale: 5k users x 400 steps in ``history_mode="aggregate"`` with
+    ``checkpoint_every=100`` — four crash-consistent snapshots (export +
+    serialize + fsync + atomic rename + prune) over a ~1.5 s trial.
+    Aggregate mode is the recommended pairing for long checkpointed runs
+    because its snapshot carries group series and count tables, not
+    per-user history matrices, so the write cost stays flat as the horizon
+    grows.  The overhead is measured *inside* the run — wall clock spent
+    in :meth:`CheckpointSpec.write` over total trial wall clock — because
+    an A/B of two full trials on a busy host drowns a ~1% effect in
+    scheduler noise; ``BENCH_core.json`` records the full-scale (20k x
+    400) numbers, both instrumented and end-to-end.
+    """
+    import tempfile
+
+    from repro.core import checkpoint as checkpoint_module
+
+    config = CaseStudyConfig(num_users=5_000, num_trials=1, end_year=2401)
+    spent = {"seconds": 0.0, "writes": 0}
+    original_write = checkpoint_module.CheckpointSpec.write
+
+    def instrumented_write(self, payload):
+        start = time.perf_counter()
+        try:
+            return original_write(self, payload)
+        finally:
+            spent["seconds"] += time.perf_counter() - start
+            spent["writes"] += 1
+
+    monkeypatch.setattr(
+        checkpoint_module.CheckpointSpec, "write", instrumented_write
+    )
+    with tempfile.TemporaryDirectory() as snapshots:
+        total = _timed(
+            lambda: run_trial(
+                config,
+                trial_index=0,
+                history_mode="aggregate",
+                checkpoint_dir=snapshots,
+                checkpoint_every=100,
+            )
+        )
+    assert spent["writes"] == 4
+    overhead = spent["seconds"] / total * 100
+    print(
+        f"\ncheckpoint overhead (5k x 400, aggregate, every=100): "
+        f"{spent['seconds'] * 1e3:.1f}ms in {spent['writes']} writes over a "
+        f"{total:.3f}s trial ({overhead:.2f}%)"
+    )
+    assert overhead < 5.0
+
+
 def _timed(fn) -> float:
     start = time.perf_counter()
     fn()

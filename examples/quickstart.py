@@ -5,11 +5,11 @@ framework — a few hundred simulated households, the retraining scorecard
 lender, the cumulative default-rate filter — runs the loop over 2002-2020,
 and prints the two assessments the paper's definitions ask for.
 
-It then reruns the same simulation in the streaming history mode
-(``history_mode="aggregate"``), which keeps only group-level series in
-``O(users)`` memory instead of ``(steps, users)`` matrices — the knob that
-makes million-user runs fit in RAM — and shows that the race-wise series
-are bit-identical to the full-history run.
+It then reruns the same simulation through each engine variant in turn —
+streaming aggregation, sharded execution, sufficient-statistics
+retraining, the trial-batched sweep, and finally a kill-and-resume
+demonstration of the fault-tolerant checkpointing — showing at every step
+that the trajectory stays bit-identical.
 
 Run with::
 
@@ -251,6 +251,84 @@ def batched_sweep_variant() -> None:
         "  across-trial mean final ADR per race: "
         + "  ".join(f"{race.name}: {value:.3f}" for race, value in gap.items())
     )
+
+    kill_and_resume_variant()
+
+
+def kill_and_resume_variant() -> None:
+    """Kill a run mid-flight, then resume it — bit-identically.
+
+    With ``checkpoint_every`` set, each trial snapshots its full loop
+    state (history, filter counts, scorecard state, random-stream base)
+    crash-consistently every N steps, and each completed trial persists
+    its result.  Here a child interpreter running the experiment is
+    hard-killed partway through (a real ``os._exit``, the moral
+    equivalent of an OOM kill); the parent then reruns the same command
+    with ``resume=True``, which skips finished trials, restores the
+    interrupted one from its latest intact snapshot, and — because the
+    random streams are stateless per ``(trial, shard, step)`` — replays
+    the exact bytes the uninterrupted run would have produced.  From the
+    command line the same flow is
+    ``python -m repro.cli fig3 --checkpoint-dir ckpt --checkpoint-every 5``
+    rerun with ``--resume`` after the crash.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.experiments import CaseStudyConfig, run_experiment
+    from repro.testing.faults import FaultSpec, plan_environment
+
+    config = CaseStudyConfig(num_users=300, num_trials=3, seed=11)
+    golden = run_experiment(config)
+
+    print("\n-- kill-and-resume variant (checkpoint_every=5, resume=True) --")
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        # The victim: the same experiment, checkpointing, killed by an
+        # injected fault at step 12 of trial 1 (the test-only harness in
+        # repro.testing.faults delivers the kill through the environment).
+        script = (
+            "import sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from repro.experiments import CaseStudyConfig, run_experiment\n"
+            "run_experiment(\n"
+            "    CaseStudyConfig(num_users=300, num_trials=3, seed=11),\n"
+            "    checkpoint_dir=sys.argv[2], checkpoint_every=5,\n"
+            ")\n"
+        )
+        environment = dict(os.environ)
+        environment.update(
+            plan_environment(
+                [FaultSpec(site="loop_step", kind="kill", step=12)],
+                state_dir=checkpoint_dir,
+            )
+        )
+        source_root = os.path.join(os.path.dirname(__file__), "..", "src")
+        victim = subprocess.run(
+            [sys.executable, "-c", script, source_root, checkpoint_dir],
+            env=environment,
+        )
+        survivors = sorted(
+            name for name in os.listdir(checkpoint_dir) if name.endswith((".ckpt", ".result"))
+        )
+        print(f"  victim exit code: {victim.returncode} (killed mid-run)")
+        print(f"  on disk at the crash: {', '.join(survivors)}")
+
+        resumed = run_experiment(
+            config, checkpoint_dir=checkpoint_dir, checkpoint_every=5, resume=True
+        )
+        for index, (golden_trial, resumed_trial) in enumerate(
+            zip(golden.trials, resumed.trials)
+        ):
+            identical = bool(
+                np.array_equal(
+                    golden_trial.user_default_rates, resumed_trial.user_default_rates
+                )
+            )
+            print(
+                f"  trial {index}: resumed run bit-identical to uninterrupted: {identical}"
+            )
 
 
 if __name__ == "__main__":

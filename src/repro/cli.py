@@ -42,19 +42,7 @@ _AGGREGATE_CAPABLE = ("fig3", "fig4", "fig5")
 
 
 def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
-    if arguments.full:
-        return CaseStudyConfig(
-            seed=arguments.seed,
-            history_mode=arguments.history_mode,
-            num_shards=arguments.shards,
-            shard_parallel=arguments.shard_parallel,
-            retrain_mode=arguments.retrain_mode,
-            warm_start=arguments.warm_start,
-            trial_batch=arguments.trial_batch,
-        )
-    return CaseStudyConfig(
-        num_users=arguments.users,
-        num_trials=arguments.trials,
+    shared = dict(
         seed=arguments.seed,
         history_mode=arguments.history_mode,
         num_shards=arguments.shards,
@@ -62,6 +50,16 @@ def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
         retrain_mode=arguments.retrain_mode,
         warm_start=arguments.warm_start,
         trial_batch=arguments.trial_batch,
+        checkpoint_dir=arguments.checkpoint_dir,
+        checkpoint_every=arguments.checkpoint_every,
+        resume=arguments.resume,
+    )
+    if arguments.full:
+        return CaseStudyConfig(**shared)
+    return CaseStudyConfig(
+        num_users=arguments.users,
+        num_trials=arguments.trials,
+        **shared,
     )
 
 
@@ -139,6 +137,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for crash-consistent per-trial snapshots and "
+            "completed-trial results (enables fault-tolerant runs; see "
+            "--checkpoint-every and --resume)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help=(
+            "snapshot each trial's full loop state every N steps (0 "
+            "disables; requires --checkpoint-dir).  Resumed runs are "
+            "bit-identical to uninterrupted ones: the random streams are "
+            "stateless per (trial, shard, step)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted run from --checkpoint-dir: completed "
+            "trials are skipped, interrupted trials restore their latest "
+            "intact snapshot; a configuration mismatch is rejected with an "
+            "actionable error"
+        ),
+    )
+    parser.add_argument(
         "command",
         choices=[
             "table1",
@@ -180,7 +208,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--history-mode aggregate only supports the group-series figures "
             f"({', '.join(_AGGREGATE_CAPABLE)}); {arguments.command!r} needs per-user history"
         )
-    config = _config_from_arguments(arguments)
+    try:
+        config = _config_from_arguments(arguments)
+    except ValueError as error:
+        # e.g. --resume without --checkpoint-dir: surface the actionable
+        # validation message as a usage error, not a traceback.
+        parser.error(str(error))
 
     if arguments.command == "table1":
         print(table1_scorecard_result(config.scaled(num_trials=1)).summary())

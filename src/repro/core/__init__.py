@@ -39,7 +39,15 @@ from repro.core.filters import (
     IntegralFilter,
     LoopFilter,
 )
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointSpec,
+    load_latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.core.loop import ClosedLoop
+from repro.core.supervision import SupervisorPolicy, WorkerPoolFailure
 from repro.core.sharding import (
     NUM_CANONICAL_SHARDS,
     PopulationShard,
@@ -89,6 +97,13 @@ __all__ = [
     "IntegralFilter",
     "AnomalyClippingFilter",
     "ClosedLoop",
+    "CheckpointError",
+    "CheckpointSpec",
+    "SupervisorPolicy",
+    "WorkerPoolFailure",
+    "load_latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
     "NUM_CANONICAL_SHARDS",
     "ShardPlan",
     "PopulationShard",

@@ -152,6 +152,29 @@ class CreditScoringSystem:
         """
         self._lender.retrain_from_suffstats(table)
 
+    def export_state(self) -> Dict[str, object]:
+        """Return a picklable snapshot of the system's mutable state.
+
+        Wraps the lender's learning state (round counter + fitted model;
+        the scorecard is rebuilt from the model on import) together with
+        the last decision round's scores.  Used by the checkpoint layer —
+        see :mod:`repro.core.checkpoint`.
+        """
+        return {
+            "lender": self._lender.export_state(),
+            "last_scores": (
+                None if self._last_scores is None else self._last_scores.copy()
+            ),
+        }
+
+    def import_state(self, state: Mapping[str, object]) -> None:
+        """Restore the state captured by :meth:`export_state`."""
+        self._lender.import_state(state["lender"])
+        scores = state.get("last_scores")
+        self._last_scores = (
+            None if scores is None else np.asarray(scores, dtype=float).copy()
+        )
+
 
 class ScorecardDecisionSystem:
     """A fixed scorecard applied every step, never retrained.

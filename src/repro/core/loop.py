@@ -63,20 +63,31 @@ as a single shard and keep the legacy one-generator ``begin_step``/
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.ai_system import AISystem
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointSpec,
+    deserialize_payload,
+    serialize_payload,
+)
 from repro.core.filters import DefaultRateFilter, LoopFilter
 from repro.core.history import SimulationHistory, StepRecord
 from repro.core.population import Population
 from repro.core.sharding import PopulationShard, ShardPlan, shard_population
 from repro.core.streaming import AggregateHistory
+from repro.core.supervision import SupervisorPolicy, WorkerPoolFailure, kill_executor
 from repro.scoring.features import clipped_default_rates, income_code
 from repro.scoring.suffstats import CompressedDesign, merge_tables
+from repro.testing.faults import fire as _fire_fault
 from repro.utils.rng import shard_seed, shard_step_generator, spawn_generator, step_generator
 
 __all__ = ["ClosedLoop"]
@@ -103,14 +114,26 @@ _WORKER_STATE: Dict[str, Dict[str, object]] = {}
 
 
 def _pool_worker_init(token: str, payload: Dict[str, object]) -> bool:
-    """Install one worker's shard state (population slice, filter, seed)."""
+    """Install one worker's shard state (population slice, filter, seed).
+
+    ``filter_state`` (when given) seeds the shard filter with the worker's
+    slice of an existing tracker — this is how a pool rebuilt after a
+    mid-run failure resumes from the supervisor's snapshot instead of from
+    a blank filter.  A fresh run passes the all-zero sliced state, which is
+    identical to plain construction.
+    """
     shard: PopulationShard = payload["shard"]
+    filter_state = payload.get("filter_state")
     _WORKER_STATE[token] = {
         "population": shard.population,
         "shard_ids": shard.shard_ids,
         "base_seed": payload["base_seed"],
-        "filter": DefaultRateFilter(
-            num_users=shard.num_users, prior_rate=payload["prior_rate"]
+        "filter": (
+            DefaultRateFilter(
+                num_users=shard.num_users, prior_rate=payload["prior_rate"]
+            )
+            if filter_state is None
+            else DefaultRateFilter.from_state(filter_state)
         ),
         "suffstats": payload.get("suffstats"),
         "step_features": {},
@@ -122,6 +145,7 @@ def _pool_worker_init(token: str, payload: Dict[str, object]) -> bool:
 def _pool_worker_begin(token: str, k: int) -> Dict[str, np.ndarray]:
     """Phase 1 of step ``k``: reveal the worker's public features."""
     state = _WORKER_STATE[token]
+    _fire_fault("shard_worker_begin", shard=int(state["shard_ids"][0]), step=k)
     rngs = [
         shard_step_generator(state["base_seed"], shard_id, k)
         for shard_id in state["shard_ids"]
@@ -149,6 +173,7 @@ def _pool_worker_respond(
     rates — exactly the delayed feedback the central refit trains on.
     """
     state = _WORKER_STATE[token]
+    _fire_fault("shard_worker_respond", shard=int(state["shard_ids"][0]), step=k)
     rngs = state["step_rngs"].pop(k)
     actions = np.asarray(
         state["population"].respond(decisions, k, rngs), dtype=float
@@ -189,6 +214,20 @@ def _pool_worker_finalize(token: str) -> Tuple[Dict[str, object], Dict[str, obje
     )
 
 
+def _pool_worker_export(token: str) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Non-destructively export the worker's population and filter state.
+
+    The checkpoint-boundary twin of :func:`_pool_worker_finalize`: the
+    orchestrator gathers every worker's state to build a consistent global
+    snapshot, and the worker keeps running.
+    """
+    state = _WORKER_STATE[token]
+    return (
+        state["population"].export_shard_state(),
+        state["filter"].export_state(),
+    )
+
+
 class _ShardWorkerPool:
     """A set of persistent single-process executors, one per worker shard.
 
@@ -205,10 +244,15 @@ class _ShardWorkerPool:
         prior_rate: float,
         token: str,
         suffstats_spec: Dict[str, object] | None = None,
+        filter_states: Sequence[Dict[str, object] | None] | None = None,
+        timeout: float | None = None,
     ) -> None:
         self.shards = list(shards)
         self.token = token
+        self._timeout = timeout
         self._executors: List[ProcessPoolExecutor] = []
+        if filter_states is None:
+            filter_states = [None] * len(self.shards)
         try:
             for shard in self.shards:
                 executor = ProcessPoolExecutor(max_workers=1)
@@ -222,9 +266,12 @@ class _ShardWorkerPool:
                         "base_seed": base_seed,
                         "prior_rate": prior_rate,
                         "suffstats": suffstats_spec,
+                        "filter_state": filter_state,
                     },
                 )
-                for executor, shard in zip(self._executors, self.shards)
+                for executor, shard, filter_state in zip(
+                    self._executors, self.shards, filter_states
+                )
             ]
             for future in futures:
                 future.result()
@@ -232,35 +279,75 @@ class _ShardWorkerPool:
             self.shutdown()
             raise
 
+    def _gather(self, futures) -> List[object]:
+        """Collect worker futures, unifying death/hang/raise into one signal.
+
+        A shared deadline covers the whole gather (the phases are
+        lockstep, so per-future deadlines would just re-count the same
+        wall clock); breaching it, losing a worker process, or a raise
+        inside a worker all surface as :class:`WorkerPoolFailure`, which
+        the supervising orchestrator turns into a retry from its last
+        snapshot or a serial degrade.
+        """
+        deadline = None if self._timeout is None else time.monotonic() + self._timeout
+        results: List[object] = []
+        for future in futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                results.append(future.result(timeout=remaining))
+            except FutureTimeoutError as error:
+                raise WorkerPoolFailure("a shard worker hung past the timeout", error)
+            except BrokenProcessPool as error:
+                raise WorkerPoolFailure("a shard worker process died", error)
+            except WorkerPoolFailure:
+                raise
+            except Exception as error:
+                raise WorkerPoolFailure("a shard worker raised", error)
+        return results
+
     def map_begin(self, k: int) -> List[Dict[str, np.ndarray]]:
-        futures = [
-            executor.submit(_pool_worker_begin, self.token, k)
-            for executor in self._executors
-        ]
-        return [future.result() for future in futures]
+        return self._gather(
+            [
+                executor.submit(_pool_worker_begin, self.token, k)
+                for executor in self._executors
+            ]
+        )
 
     def map_respond(self, k: int, decisions: np.ndarray):
-        futures = [
-            executor.submit(
-                _pool_worker_respond,
-                self.token,
-                k,
-                decisions[shard.lo : shard.hi],
-            )
-            for executor, shard in zip(self._executors, self.shards)
-        ]
-        return [future.result() for future in futures]
+        return self._gather(
+            [
+                executor.submit(
+                    _pool_worker_respond,
+                    self.token,
+                    k,
+                    decisions[shard.lo : shard.hi],
+                )
+                for executor, shard in zip(self._executors, self.shards)
+            ]
+        )
+
+    def export_states(self):
+        """Gather every worker's (population, filter) state, workers kept."""
+        return self._gather(
+            [
+                executor.submit(_pool_worker_export, self.token)
+                for executor in self._executors
+            ]
+        )
 
     def finalize(self):
-        futures = [
-            executor.submit(_pool_worker_finalize, self.token)
-            for executor in self._executors
-        ]
-        return [future.result() for future in futures]
+        return self._gather(
+            [
+                executor.submit(_pool_worker_finalize, self.token)
+                for executor in self._executors
+            ]
+        )
 
     def shutdown(self) -> None:
         for executor in self._executors:
-            executor.shutdown(wait=False, cancel_futures=True)
+            kill_executor(executor)
         self._executors = []
 
 
@@ -364,6 +451,8 @@ class ClosedLoop:
         num_shards: int = 1,
         shard_parallel: bool = False,
         retrain_mode: str | None = None,
+        checkpoint: CheckpointSpec | None = None,
+        supervisor: SupervisorPolicy | None = None,
     ) -> SimulationHistory | AggregateHistory:
         """Run the loop for ``num_steps`` steps and return the history.
 
@@ -425,6 +514,26 @@ class ClosedLoop:
             centrally either way (the knob selects the transport, not the
             algorithm).  The serial path is unaffected for the same
             reason.
+        checkpoint:
+            Optional :class:`~repro.core.checkpoint.CheckpointSpec`: at
+            every ``checkpoint.every``-th step boundary the loop's state
+            (history, filter, AI system, population, stream base) is
+            written crash-consistently to
+            ``checkpoint.directory/checkpoint.stem.stepNNNNNNNN.ckpt``.
+            A run restored from such a snapshot
+            (:meth:`restore_snapshot`) and continued is bit-identical to
+            the uninterrupted run, because the random streams are
+            stateless per ``(shard, step)``.
+        supervisor:
+            Optional :class:`~repro.core.supervision.SupervisorPolicy` for
+            the pooled shard path: worker death, hangs (when
+            ``supervisor.timeout`` is set) and worker exceptions are
+            detected, the pool is rebuilt and the run retried — after an
+            exponential backoff — from the last checkpoint boundary (or
+            the start), up to ``supervisor.max_retries`` times; past the
+            budget the run degrades to the bit-identical serial path with
+            a :class:`RuntimeWarning`.  ``None`` applies the default
+            policy.
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
@@ -457,16 +566,122 @@ class ClosedLoop:
             and min(num_shards, self._plan.num_shards) > 1
         ):
             pooled = self._try_run_pooled(
-                num_steps, record_book, num_shards, retrain_mode
+                num_steps,
+                record_book,
+                num_shards,
+                retrain_mode,
+                checkpoint=checkpoint,
+                supervisor=supervisor,
             )
             if pooled is not None:
                 return pooled
-        for k in range(start, start + num_steps):
+        return self._run_serial_range(record_book, start, start + num_steps, checkpoint)
+
+    def _run_serial_range(
+        self,
+        record_book: SimulationHistory | AggregateHistory,
+        start: int,
+        end: int,
+        checkpoint: CheckpointSpec | None,
+    ) -> SimulationHistory | AggregateHistory:
+        """Advance the loop serially over ``[start, end)``, checkpointing."""
+        for k in range(start, end):
+            _fire_fault("loop_step", step=k)
             public_features, decisions, actions, observation = self._advance(
                 k, self._step_rngs(k)
             )
             record_book.record_step(k, public_features, decisions, actions, observation)
+            if checkpoint is not None and checkpoint.due(record_book.num_steps):
+                checkpoint.write(self.export_snapshot(record_book))
         return record_book
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def export_snapshot(
+        self, history: SimulationHistory | AggregateHistory
+    ) -> Dict[str, object]:
+        """Return a step-boundary snapshot payload of this run.
+
+        The payload captures everything a fresh loop of the same
+        configuration needs to continue bit-identically: the recorded
+        history, the filter state, the AI system's learning state, the
+        population's mutable state, and the base seed of the stateless
+        random streams.  Components exposing ``export_state`` /
+        ``import_state`` (and populations exposing the shard-state hooks)
+        are captured structurally; anything else is embedded as the whole
+        object, which pickles with the payload.
+
+        The returned dict aliases live state — serialize it
+        (:func:`~repro.core.checkpoint.serialize_payload` or
+        :meth:`~repro.core.checkpoint.CheckpointSpec.write`) before
+        advancing the loop further.
+        """
+        if self._stream_base is None:
+            raise ValueError("no run in progress: the stream base is unset")
+
+        def _component(obj, export: str, import_: str) -> Dict[str, object]:
+            if hasattr(obj, export) and hasattr(obj, import_):
+                return {"kind": "state", "state": getattr(obj, export)()}
+            return {"kind": "object", "object": obj}
+
+        return {
+            "step": int(history.num_steps),
+            "num_users": int(self._population.num_users),
+            "stream_base": int(self._stream_base),
+            "history": history,
+            "filter": _component(self._filter, "export_state", "import_state"),
+            "ai_system": _component(self._ai_system, "export_state", "import_state"),
+            "population": _component(
+                self._population, "export_shard_state", "import_shard_state"
+            ),
+        }
+
+    def restore_snapshot(
+        self, payload: Mapping[str, object]
+    ) -> SimulationHistory | AggregateHistory:
+        """Restore loop state from an :meth:`export_snapshot` payload.
+
+        Returns the restored history; pass it back to :meth:`run` as
+        ``history=`` (with ``rng=None``) and the continuation replays the
+        uninterrupted run's schedule exactly.  The loop must be built with
+        the same configuration that wrote the snapshot — the checkpoint
+        layer's fingerprint guards that contract at the file level, and a
+        population-size mismatch is rejected here as a second line of
+        defence.
+        """
+        if int(payload["num_users"]) != self._population.num_users:
+            raise CheckpointError(
+                f"snapshot was taken with {payload['num_users']} users but this "
+                f"loop has {self._population.num_users}; resume with the "
+                "configuration that wrote the checkpoint"
+            )
+        population_payload = payload["population"]
+        if population_payload["kind"] == "state":
+            self._population.import_shard_state(0, population_payload["state"])
+        else:
+            self._population = population_payload["object"]
+            self._plan, self._shard_aware = _resolve_population_plan(self._population)
+        filter_payload = payload["filter"]
+        if filter_payload["kind"] == "state":
+            self._filter.import_state(filter_payload["state"])
+        else:
+            self._filter = filter_payload["object"]
+        ai_payload = payload["ai_system"]
+        if ai_payload["kind"] == "state":
+            self._ai_system.import_state(ai_payload["state"])
+        else:
+            self._ai_system = ai_payload["object"]
+        self._stream_base = int(payload["stream_base"])
+        self._shard_seeds = None
+        history = payload["history"]
+        if history.num_steps != int(payload["step"]):
+            raise CheckpointError(
+                f"snapshot is inconsistent: history holds {history.num_steps} "
+                f"steps but the payload claims {payload['step']}"
+            )
+        return history
 
     def step(self, k: int, rng: int | np.random.Generator | None = None) -> StepRecord:
         """Execute one pass through the loop at time ``k``.
@@ -611,25 +826,69 @@ class ClosedLoop:
             return None
         return spec
 
+    def _start_pool(
+        self,
+        shards: Sequence[PopulationShard],
+        prior_rate: float,
+        suffstats_spec: Dict[str, object] | None,
+        policy: SupervisorPolicy,
+    ) -> _ShardWorkerPool:
+        """Start a worker pool seeded with the filter's *current* state.
+
+        Slicing the live tracker state per shard makes the same call serve
+        both a fresh start (all-zero counts, identical to plain worker
+        construction) and a supervised restart from a mid-run snapshot
+        (each rebuilt worker resumes its shard's exact integer counts).
+        """
+        state = self._filter.export_state()
+        filter_states = [
+            _slice_tracker_state(state, shard.lo, shard.hi) for shard in shards
+        ]
+        self._pool_token_counter += 1
+        token = f"closedloop-{id(self):x}-{self._pool_token_counter}"
+        return _ShardWorkerPool(
+            shards,
+            self._stream_base,
+            prior_rate,
+            token,
+            suffstats_spec,
+            filter_states=filter_states,
+            timeout=policy.timeout,
+        )
+
     def _try_run_pooled(
         self,
         num_steps: int,
         record_book: SimulationHistory | AggregateHistory,
         num_shards: int,
         retrain_mode: str | None = None,
+        checkpoint: CheckpointSpec | None = None,
+        supervisor: SupervisorPolicy | None = None,
     ) -> SimulationHistory | AggregateHistory | None:
-        """Run the shards on worker processes, or ``None`` for serial fallback.
+        """Run the shards on supervised worker processes.
 
-        The fallback triggers before anything is recorded: ineligible
+        Returns ``None`` for the pre-start serial fallback: ineligible
         population/filter combinations, unpicklable shard payloads and
         worker start-up failures (e.g. a daemonic parent process that may
-        not fork children) all land back on the serial path, which produces
-        the identical trajectory.  Failures past the eligibility check emit
-        a :class:`RuntimeWarning` naming the cause, so a pool that can
-        never start does not silently cost the caller their speedup.
+        not fork children) all land back on the serial path before
+        anything is recorded, emitting PR 3's :class:`RuntimeWarning`.
+
+        Once the pool is running, failures are *supervised* instead: a
+        worker death (``BrokenProcessPool``), hang (future past
+        ``supervisor.timeout``) or raise rolls the loop back to its last
+        consistent snapshot — the start of the run, or the last checkpoint
+        boundary — tears the pool down, backs off exponentially, rebuilds
+        the pool with each worker's filter slice restored, and replays.
+        The stateless per-(shard, step) streams make the replay
+        bit-identical.  When the retry budget is exhausted the run
+        degrades to the serial path *from the snapshot* (also
+        bit-identical), again with a structured warning — a crashed worker
+        can slow an experiment down, but it can no longer change or kill
+        it.
         """
         if not self._pool_eligible():
             return None
+        policy = supervisor or SupervisorPolicy()
         prior_rate = self._filter.tracker.prior_rate
         try:
             shards = shard_population(self._population, num_shards)
@@ -641,18 +900,84 @@ class ClosedLoop:
         # the except below already turns into the serial fallback —
         # probing would serialize every population slice a second time.
         suffstats_spec = self._resolve_suffstats_spec(retrain_mode)
-        self._pool_token_counter += 1
-        token = f"closedloop-{id(self):x}-{self._pool_token_counter}"
         try:
-            pool = _ShardWorkerPool(
-                shards, self._stream_base, prior_rate, token, suffstats_spec
-            )
+            pool = self._start_pool(shards, prior_rate, suffstats_spec, policy)
         except Exception as error:
             self._warn_serial_fallback("starting the worker pool failed", error)
             return None
+        # The supervisor's rollback target: a serialized snapshot of the
+        # whole run state, refreshed at every checkpoint boundary.
+        # Serializing (not aliasing) is what makes it immune to the
+        # in-place mutation of the history and filter as steps execute.
+        snapshot_ref = [serialize_payload(self.export_snapshot(record_book))]
+        attempt = 0
+        while True:
+            try:
+                return self._run_pooled_steps(
+                    pool,
+                    num_steps,
+                    record_book,
+                    shards,
+                    prior_rate,
+                    suffstats_spec,
+                    checkpoint,
+                    snapshot_ref,
+                )
+            except WorkerPoolFailure as failure:
+                pool.shutdown()
+                record_book = self.restore_snapshot(
+                    deserialize_payload(snapshot_ref[0])
+                )
+                start = record_book.num_steps
+                attempt += 1
+                error = failure.cause if failure.cause is not None else failure
+                if attempt <= policy.max_retries:
+                    warnings.warn(
+                        f"shard worker pool failure ({failure.reason}: {error!r}); "
+                        f"rebuilding the pool and retrying from step {start} "
+                        f"(attempt {attempt}/{policy.max_retries})",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    policy.sleep_before_retry(attempt)
+                    try:
+                        shards = shard_population(self._population, num_shards)
+                        pool = self._start_pool(
+                            shards, prior_rate, suffstats_spec, policy
+                        )
+                        continue
+                    except Exception as rebuild_error:
+                        error = rebuild_error
+                self._warn_serial_fallback(
+                    "the shard worker pool failed mid-run and the retry budget "
+                    f"is exhausted; continuing serially from step {start}",
+                    error,
+                )
+                return self._run_serial_range(
+                    record_book, start, num_steps, checkpoint
+                )
+
+    def _run_pooled_steps(
+        self,
+        pool: _ShardWorkerPool,
+        num_steps: int,
+        record_book: SimulationHistory | AggregateHistory,
+        shards: Sequence[PopulationShard],
+        prior_rate: float,
+        suffstats_spec: Dict[str, object] | None,
+        checkpoint: CheckpointSpec | None,
+        snapshot_ref: List[bytes],
+    ) -> SimulationHistory | AggregateHistory:
+        """One supervised attempt at the pooled step loop.
+
+        Raises :class:`WorkerPoolFailure` on any worker death/hang/raise;
+        the caller owns rollback and retry.  Starts from
+        ``record_book.num_steps``, so a post-rollback attempt resumes at
+        the snapshot's boundary.
+        """
         try:
             observation_before = self._filter.observation()
-            for k in range(num_steps):
+            for k in range(record_book.num_steps, num_steps):
                 feature_slices = pool.map_begin(k)
                 public_features = _concatenate_features(feature_slices)
                 decisions = np.asarray(
@@ -698,11 +1023,35 @@ class ClosedLoop:
                     k, public_features, decisions, actions, observation_after
                 )
                 observation_before = observation_after
+                if checkpoint is not None and checkpoint.due(record_book.num_steps):
+                    # Fold the workers' live state into the orchestrator so
+                    # the snapshot is globally consistent, persist it, and
+                    # advance the supervisor's rollback target to this
+                    # boundary.
+                    self._fold_worker_states(pool, shards)
+                    payload = self.export_snapshot(record_book)
+                    snapshot_ref[0] = serialize_payload(payload)
+                    checkpoint.write(payload)
             final_states = pool.finalize()
-        finally:
+        except WorkerPoolFailure:
+            raise  # the pool is the caller's to tear down and rebuild
+        except BaseException:
             pool.shutdown()
+            raise
+        self._merge_worker_states(final_states, shards)
+        pool.shutdown()
+        return record_book
+
+    def _fold_worker_states(
+        self, pool: _ShardWorkerPool, shards: Sequence[PopulationShard]
+    ) -> None:
+        """Pull every worker's state into the orchestrator (workers kept)."""
+        self._merge_worker_states(pool.export_states(), shards)
+
+    def _merge_worker_states(self, states, shards: Sequence[PopulationShard]) -> None:
+        """Fold per-shard (population, filter) states into the loop's own."""
         merged_filter: DefaultRateFilter | None = None
-        for shard, (population_state, filter_state) in zip(shards, final_states):
+        for shard, (population_state, filter_state) in zip(shards, states):
             worker_filter = DefaultRateFilter.from_state(filter_state)
             merged_filter = (
                 worker_filter
@@ -712,7 +1061,25 @@ class ClosedLoop:
             self._population.import_shard_state(shard.lo, population_state)
         if merged_filter is not None:
             self._filter.import_state(merged_filter.export_state())
-        return record_book
+
+
+def _slice_tracker_state(
+    state: Dict[str, object], lo: int, hi: int
+) -> Dict[str, object]:
+    """Return rows ``[lo, hi)`` of an exported default-rate tracker state.
+
+    The tracker state is row-independent integer counts, so a shard's slice
+    of the global state is exactly the state the shard's own filter would
+    hold — which is what lets a rebuilt worker pool resume mid-run from the
+    orchestrator's snapshot.
+    """
+    return {
+        "num_users": hi - lo,
+        "prior_rate": state["prior_rate"],
+        "offers": np.asarray(state["offers"])[lo:hi].copy(),
+        "repayments": np.asarray(state["repayments"])[lo:hi].copy(),
+        "steps_recorded": state["steps_recorded"],
+    }
 
 
 def _concatenate_features(

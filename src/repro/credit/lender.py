@@ -16,7 +16,7 @@ scorecards are trained on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
@@ -304,6 +304,28 @@ class Lender:
             },
         )
         return self._scorecard
+
+    def export_state(self) -> Dict[str, object]:
+        """Return a picklable snapshot of the lender's learning state.
+
+        The state is the round counter plus the fitted model; the scorecard
+        is *derived* (rebuilt deterministically from the model's
+        coefficients on import), and the constructor knobs (cutoff, warm-up
+        length, penalty, modes) are deliberately excluded — a restored
+        lender must be constructed with the same configuration, which the
+        checkpoint layer guards with its config fingerprint.
+        """
+        return {"rounds_seen": self._rounds_seen, "model": self._model}
+
+    def import_state(self, state: Mapping[str, object]) -> None:
+        """Restore the learning state captured by :meth:`export_state`."""
+        self._rounds_seen = int(state["rounds_seen"])
+        model = state.get("model")
+        if model is None:
+            self._model = None
+            self._scorecard = None
+        else:
+            self._install_model(model)
 
     def decide(
         self,

@@ -15,7 +15,42 @@ from typing import Mapping, Tuple
 from repro.data.census import Race, paper_race_mix
 from repro.utils.validation import require_positive
 
-__all__ = ["CaseStudyConfig"]
+__all__ = ["CaseStudyConfig", "validate_checkpoint_settings"]
+
+
+def validate_checkpoint_settings(
+    checkpoint_dir: str | None,
+    checkpoint_every: int,
+    resume: bool,
+    trial_batch: bool = False,
+) -> None:
+    """Reject unusable checkpoint knob combinations with actionable errors.
+
+    Called from :class:`CaseStudyConfig` construction *and* from the
+    runner's override merge, so a bad combination fails at configuration
+    time — not at step 900 of a 1000-step trial.
+    """
+    if checkpoint_every < 0:
+        raise ValueError(
+            f"checkpoint_every must be non-negative, got {checkpoint_every}"
+        )
+    if checkpoint_every > 0 and checkpoint_dir is None:
+        raise ValueError(
+            "checkpoint_every > 0 needs somewhere to write snapshots: "
+            "set checkpoint_dir (CLI: --checkpoint-dir)"
+        )
+    if resume and checkpoint_dir is None:
+        raise ValueError(
+            "resume=True needs somewhere to look for checkpoints: "
+            "set checkpoint_dir (CLI: --checkpoint-dir)"
+        )
+    if trial_batch and (checkpoint_every > 0 or resume):
+        raise ValueError(
+            "checkpointing is not supported with trial_batch (the batched "
+            "engine advances all trials in lockstep with no per-trial "
+            "boundary to snapshot); disable trial_batch, or drop the "
+            "checkpoint_every/resume knobs"
+        )
 
 
 @dataclass(frozen=True)
@@ -106,6 +141,24 @@ class CaseStudyConfig:
         which is the winning strategy on few cores with many trials;
         it takes precedence over ``parallel`` (and ignores
         ``shard_parallel``) when enabled.
+    checkpoint_dir:
+        Directory holding per-trial snapshots and completed-trial results.
+        Required (and only consulted) when ``checkpoint_every`` or
+        ``resume`` is set.
+    checkpoint_every:
+        Snapshot each trial's full loop state every this many steps,
+        written crash-consistently (see :mod:`repro.core.checkpoint`).
+        ``0`` (default) disables step checkpointing.  Because the random
+        streams are stateless per ``(trial, shard, step)``, a trial
+        resumed from a snapshot is bit-identical to the uninterrupted
+        run.  Incompatible with ``trial_batch``.
+    resume:
+        Pick up an interrupted experiment from ``checkpoint_dir``:
+        trials with a completed result on disk are skipped outright, and a
+        trial with a step snapshot continues from its latest intact one.
+        Snapshots carry a configuration fingerprint; resuming with a
+        different configuration fails with an actionable error instead of
+        silently mixing runs.
     """
 
     num_users: int = 1000
@@ -129,6 +182,9 @@ class CaseStudyConfig:
     retrain_mode: str = "exact"
     warm_start: bool = False
     trial_batch: bool = False
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.history_mode not in ("full", "aggregate"):
@@ -148,6 +204,12 @@ class CaseStudyConfig:
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive when given")
         require_positive(self.num_shards, "num_shards")
+        validate_checkpoint_settings(
+            self.checkpoint_dir,
+            self.checkpoint_every,
+            self.resume,
+            trial_batch=self.trial_batch,
+        )
 
     @property
     def num_steps(self) -> int:

@@ -41,27 +41,40 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.ai_system import AISystem, CreditScoringSystem
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointSpec,
+    config_fingerprint,
+    load_latest_checkpoint,
+    prune_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.core.filters import DefaultRateFilter
 from repro.core.history import FullHistoryRequiredError, SimulationHistory
 from repro.core.loop import ClosedLoop
 from repro.core.metrics import group_approval_series, group_average_series
 from repro.core.streaming import AggregateHistory
 from repro.core.population import CreditPopulation
+from repro.core.supervision import SupervisorPolicy, WorkerPoolFailure, kill_executor
 from repro.credit.lender import Lender
 from repro.credit.mortgage import MortgageTerms
 from repro.credit.repayment import GaussianRepaymentModel
 from repro.data.census import IncomeTable, Race, default_income_table
 from repro.data.synthetic import PopulationSpec, generate_population
 from repro.experiments.batch import run_trials_batched
-from repro.experiments.config import CaseStudyConfig
+from repro.experiments.config import CaseStudyConfig, validate_checkpoint_settings
+from repro.testing.faults import fire as _fire_fault
 from repro.utils.rng import derive_seed
 
 __all__ = [
@@ -319,6 +332,46 @@ class ExperimentResult:
         return np.concatenate([trial.races for trial in self.trials])
 
 
+def _trial_stem(trial_index: int) -> str:
+    """Return the checkpoint-file stem of one trial."""
+    return f"trial-{trial_index:04d}"
+
+
+def _trial_fingerprint(
+    config: CaseStudyConfig, trial_index: int, history_mode: str
+) -> str:
+    """Fingerprint the parameters that define one trial's trajectory.
+
+    Execution layout (shards, pools, batching) is deliberately excluded —
+    every layout is bit-identical by construction, so a checkpoint written
+    under one layout resumes cleanly under another.  Everything that *does*
+    steer the trajectory (population shape and mix, model knobs, seed,
+    recording mode, the trial index) is in.
+    """
+    race_mix = tuple(
+        sorted((race.name, float(share)) for race, share in config.race_mix.items())
+    )
+    return config_fingerprint(
+        "trial",
+        trial_index,
+        history_mode,
+        config.num_users,
+        config.start_year,
+        config.end_year,
+        race_mix,
+        config.income_multiple,
+        config.annual_rate,
+        config.living_cost,
+        config.repayment_sensitivity,
+        config.cutoff,
+        config.warm_up_rounds,
+        config.income_threshold,
+        config.seed,
+        config.retrain_mode,
+        config.warm_start,
+    )
+
+
 def run_trial(
     config: CaseStudyConfig,
     trial_index: int = 0,
@@ -330,6 +383,10 @@ def run_trial(
     shard_parallel: bool | None = None,
     retrain_mode: str | None = None,
     warm_start: bool | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool | None = None,
+    supervisor: SupervisorPolicy | None = None,
 ) -> TrialResult:
     """Run one trial of the case study.
 
@@ -363,6 +420,20 @@ def run_trial(
         ``"exact"`` reproduces the paper bit for bit; ``"compressed"``
         refits in O(unique rows) with coefficients equal to solver
         tolerance and — at paper scale — identical decision vectors.
+    checkpoint_dir, checkpoint_every, resume:
+        Fault-tolerance overrides (``None`` defers to the config).  With
+        ``checkpoint_every > 0`` the trial's loop state is snapshotted
+        crash-consistently into ``checkpoint_dir`` every that many steps;
+        with ``resume`` the trial restores from its latest intact snapshot
+        (fingerprint-checked against this configuration) and continues —
+        bit-identically, because the random streams are stateless per
+        ``(trial, shard, step)``.
+    supervisor:
+        :class:`~repro.core.supervision.SupervisorPolicy` for the pooled
+        shard path (``None`` applies the defaults): worker death, hangs
+        and raises are retried from the last checkpoint boundary with
+        exponential backoff, then degrade to the bit-identical serial
+        path.
     """
     mode = config.history_mode if history_mode is None else history_mode
     if mode not in ("full", "aggregate"):
@@ -371,6 +442,10 @@ def run_trial(
     pooled = config.shard_parallel if shard_parallel is None else bool(shard_parallel)
     if shards <= 0:
         raise ValueError("num_shards must be positive")
+    ckpt_dir = config.checkpoint_dir if checkpoint_dir is None else checkpoint_dir
+    every = config.checkpoint_every if checkpoint_every is None else checkpoint_every
+    do_resume = config.resume if resume is None else bool(resume)
+    validate_checkpoint_settings(ckpt_dir, every, do_resume)
     if retrain_mode is not None or warm_start is not None:
         # The policy factory reads these off the config, so overrides must
         # land there before the factory runs.
@@ -404,27 +479,43 @@ def run_trial(
         population=population,
         loop_filter=DefaultRateFilter(num_users=config.num_users),
     )
+    fingerprint = _trial_fingerprint(config, trial_index, mode)
+    spec = (
+        CheckpointSpec(
+            directory=ckpt_dir,
+            stem=_trial_stem(trial_index),
+            every=every,
+            fingerprint=fingerprint,
+        )
+        if ckpt_dir is not None and every > 0
+        else None
+    )
+    history: SimulationHistory | AggregateHistory | None = None
+    if do_resume and ckpt_dir is not None:
+        payload = load_latest_checkpoint(
+            ckpt_dir, _trial_stem(trial_index), expected_fingerprint=fingerprint
+        )
+        if payload is not None:
+            history = loop.restore_snapshot(payload)
+    remaining = config.num_steps - (0 if history is None else history.num_steps)
     # The trial seed itself is the base of the shard streams (the
     # population generation above consumed an unrelated generator); an
     # integer base is what lets pooled workers re-derive any shard's stream
-    # without shipping generator state.
-    if mode == "aggregate":
+    # without shipping generator state.  A resumed trial passes rng=None
+    # instead: the loop then reuses the restored base, replaying the
+    # uninterrupted schedule exactly.
+    if remaining > 0:
         history = loop.run(
-            config.num_steps,
-            rng=trial_seed,
-            history_mode="aggregate",
-            groups=population.groups,
+            remaining,
+            rng=None if history is not None else trial_seed,
+            history=history,
+            history_mode=mode,
+            groups=population.groups if mode == "aggregate" else None,
             num_shards=shards,
             shard_parallel=pooled,
             retrain_mode=config.retrain_mode,
-        )
-    else:
-        history = loop.run(
-            config.num_steps,
-            rng=trial_seed,
-            num_shards=shards,
-            shard_parallel=pooled,
-            retrain_mode=config.retrain_mode,
+            checkpoint=spec,
+            supervisor=supervisor,
         )
     return _trial_result_from_history(config, history, population)
 
@@ -466,6 +557,10 @@ def _run_trial_task(
         bool | None,
         str | None,
         bool | None,
+        str | None,
+        int | None,
+        bool | None,
+        SupervisorPolicy | None,
     ]
 ) -> TrialResult:
     """Executor entry point: run one trial from a pickled argument tuple."""
@@ -480,7 +575,14 @@ def _run_trial_task(
         shard_parallel,
         retrain_mode,
         warm_start,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
+        supervisor,
     ) = payload
+    # Chaos-suite hook: lets a test deterministically kill/hang/fail this
+    # trial's worker to exercise the supervised trial pool.
+    _fire_fault("trial_worker", trial=trial_index)
     return run_trial(
         config,
         trial_index=trial_index,
@@ -492,7 +594,64 @@ def _run_trial_task(
         shard_parallel=shard_parallel,
         retrain_mode=retrain_mode,
         warm_start=warm_start,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        supervisor=supervisor,
     )
+
+
+def _trial_result_path(directory: str, trial_index: int) -> Path:
+    """Return the completed-trial result file of one trial."""
+    return Path(directory) / f"{_trial_stem(trial_index)}.result"
+
+
+def _write_trial_result(
+    directory: str, trial_index: int, fingerprint: str, result: TrialResult
+) -> None:
+    """Persist a completed trial crash-consistently; drop its step snapshots.
+
+    The result file is what experiment-level ``resume`` skips on: once it
+    exists, the trial never reruns, so the intermediate step snapshots are
+    dead weight and are pruned away.
+    """
+    write_checkpoint(
+        _trial_result_path(directory, trial_index),
+        {"kind": "trial_result", "fingerprint": fingerprint, "result": result},
+    )
+    prune_checkpoints(directory, _trial_stem(trial_index), keep=0)
+
+
+def _load_trial_result(
+    directory: str, trial_index: int, fingerprint: str
+) -> TrialResult | None:
+    """Load a completed trial's persisted result, or ``None`` to rerun it.
+
+    An unreadable/torn file degrades to a rerun with a warning (re-running
+    is always safe); an intact file written by a *different* configuration
+    raises — silently mixing two experiments' trials is the one outcome
+    resume must never produce.
+    """
+    path = _trial_result_path(directory, trial_index)
+    if not path.exists():
+        return None
+    try:
+        payload = read_checkpoint(path)
+    except CheckpointError as error:
+        warnings.warn(
+            f"re-running trial {trial_index}: its persisted result is "
+            f"unreadable ({error})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if payload.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"persisted result {path.name} was written by a different "
+            "configuration; point checkpoint_dir at a fresh directory, or "
+            "rerun with the original configuration"
+        )
+    return payload["result"]
 
 
 def _is_picklable(value: object) -> bool:
@@ -501,6 +660,33 @@ def _is_picklable(value: object) -> bool:
         return True
     except Exception:
         return False
+
+
+class _OrderedTrialFolder:
+    """Fold trial results into the moments in trial order, arrival-agnostic.
+
+    The Welford accumulator is order-sensitive in floats, so results — which
+    may arrive out of order from the supervised pool, or partially from disk
+    on resume — are buffered just long enough to fold consecutively from
+    trial 0.  With ``keep_trials=False`` each trial is dropped as soon as it
+    folds, preserving the bounded-memory contract.
+    """
+
+    def __init__(self, moments: GroupSeriesMoments, keep_trials: bool) -> None:
+        self._moments = moments
+        self._keep = keep_trials
+        self._buffer: Dict[int, TrialResult] = {}
+        self._next = 0
+        self.trials: List[TrialResult] = []
+
+    def add(self, trial_index: int, trial: TrialResult) -> None:
+        self._buffer[trial_index] = trial
+        while self._next in self._buffer:
+            folded = self._buffer.pop(self._next)
+            self._moments.update(folded.group_default_rates)
+            if self._keep:
+                self.trials.append(folded)
+            self._next += 1
 
 
 def run_experiment(
@@ -517,6 +703,10 @@ def run_experiment(
     warm_start: bool | None = None,
     trial_batch: bool | None = None,
     keep_trials: bool = True,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool | None = None,
+    supervisor: SupervisorPolicy | None = None,
 ) -> ExperimentResult:
     """Run all trials of the case study and return the aggregate result.
 
@@ -564,15 +754,34 @@ def run_experiment(
         :class:`GroupSeriesMoments`, so experiments with very large trial
         counts keep ``O(steps * groups)`` memory; per-trial accessors
         (``trials``, ``stacked_user_series``) are then unavailable.
+    checkpoint_dir, checkpoint_every, resume:
+        Fault-tolerance overrides (``None`` defers to the config).  Each
+        running trial snapshots its loop state every ``checkpoint_every``
+        steps, and each *completed* trial persists its result to
+        ``checkpoint_dir``; with ``resume`` the experiment skips trials
+        whose results are already on disk and continues interrupted
+        trials from their latest intact snapshot — all bit-identical to
+        the uninterrupted experiment.  See :func:`run_trial`.
+    supervisor:
+        :class:`~repro.core.supervision.SupervisorPolicy` governing the
+        pooled execution paths: worker death, hangs (with
+        ``supervisor.timeout``) and raises are detected, lost trials are
+        re-run on a rebuilt pool with exponential backoff, and work past
+        the retry budget degrades to the bit-identical serial path with a
+        :class:`RuntimeWarning` instead of crashing the experiment.
     """
     use_parallel = config.parallel if parallel is None else bool(parallel)
     use_batch = config.trial_batch if trial_batch is None else bool(trial_batch)
     workers = config.max_workers if max_workers is None else max_workers
     if workers is not None and workers <= 0:
         raise ValueError("max_workers must be positive when given")
+    ckpt_dir = config.checkpoint_dir if checkpoint_dir is None else checkpoint_dir
+    every = config.checkpoint_every if checkpoint_every is None else checkpoint_every
+    do_resume = config.resume if resume is None else bool(resume)
+    validate_checkpoint_settings(ckpt_dir, every, do_resume, trial_batch=use_batch)
     worker_count = min(config.num_trials, workers or os.cpu_count() or 1)
     moments = GroupSeriesMoments()
-    trials: List[TrialResult] | None = None
+    resolved_mode = config.history_mode if history_mode is None else history_mode
     if use_batch:
         trials = _run_trials_batched(
             config,
@@ -589,51 +798,93 @@ def run_experiment(
             config=config,
             trials=tuple(trials),
             group_moments=moments,
-            resolved_history_mode=(
-                config.history_mode if history_mode is None else history_mode
-            ),
+            resolved_history_mode=resolved_mode,
         )
-    if use_parallel and config.num_trials > 1 and worker_count > 1:
-        trials = _try_run_trials_in_processes(
+    # The fingerprint must describe the *effective* trajectory parameters,
+    # so the retrain_mode/warm_start overrides merge in exactly as
+    # run_trial will merge them.
+    effective = config
+    if retrain_mode is not None or warm_start is not None:
+        effective = replace(
+            config,
+            retrain_mode=(
+                config.retrain_mode if retrain_mode is None else retrain_mode
+            ),
+            warm_start=config.warm_start if warm_start is None else bool(warm_start),
+        )
+    folder = _OrderedTrialFolder(moments, keep_trials)
+    pending: List[int] = []
+    for trial_index in range(config.num_trials):
+        loaded = None
+        if do_resume and ckpt_dir is not None:
+            loaded = _load_trial_result(
+                ckpt_dir,
+                trial_index,
+                _trial_fingerprint(effective, trial_index, resolved_mode),
+            )
+        if loaded is not None:
+            folder.add(trial_index, loaded)
+        else:
+            pending.append(trial_index)
+    if use_parallel and len(pending) > 1 and worker_count > 1:
+        pooled = _try_run_trials_in_processes(
             config,
             policy_factory,
             terms,
             income_table,
-            worker_count,
+            min(len(pending), worker_count),
             history_mode,
             num_shards,
             shard_parallel,
             retrain_mode,
             warm_start,
-            moments,
-            keep_trials,
+            pending=pending,
+            supervisor=supervisor,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=every,
+            resume=do_resume,
         )
-    if trials is None:
-        moments = GroupSeriesMoments()
-        trials = []
-        for trial_index in range(config.num_trials):
-            trial = run_trial(
-                config,
-                trial_index=trial_index,
-                policy_factory=policy_factory,
-                terms=terms,
-                income_table=income_table,
-                history_mode=history_mode,
-                num_shards=num_shards,
-                shard_parallel=shard_parallel,
-                retrain_mode=retrain_mode,
-                warm_start=warm_start,
+        if pooled is not None:
+            for trial_index, trial in pooled.items():
+                if ckpt_dir is not None:
+                    _write_trial_result(
+                        ckpt_dir,
+                        trial_index,
+                        _trial_fingerprint(effective, trial_index, resolved_mode),
+                        trial,
+                    )
+                folder.add(trial_index, trial)
+            pending = [index for index in pending if index not in pooled]
+    for trial_index in pending:
+        trial = run_trial(
+            config,
+            trial_index=trial_index,
+            policy_factory=policy_factory,
+            terms=terms,
+            income_table=income_table,
+            history_mode=history_mode,
+            num_shards=num_shards,
+            shard_parallel=shard_parallel,
+            retrain_mode=retrain_mode,
+            warm_start=warm_start,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=every,
+            resume=do_resume,
+            supervisor=supervisor,
+        )
+        if ckpt_dir is not None:
+            _write_trial_result(
+                ckpt_dir,
+                trial_index,
+                _trial_fingerprint(effective, trial_index, resolved_mode),
+                trial,
             )
-            moments.update(trial.group_default_rates)
-            if keep_trials:
-                trials.append(trial)
+        folder.add(trial_index, trial)
     return ExperimentResult(
         config=config,
-        trials=tuple(trials),
+        trials=tuple(folder.trials),
         group_moments=moments,
-        resolved_history_mode=(
-            config.history_mode if history_mode is None else history_mode
-        ),
+        resolved_history_mode=resolved_mode,
     )
 
 
@@ -694,19 +945,47 @@ def _try_run_trials_in_processes(
     shard_parallel: bool | None = None,
     retrain_mode: str | None = None,
     warm_start: bool | None = None,
-    moments: GroupSeriesMoments | None = None,
-    keep_trials: bool = True,
-) -> List[TrialResult] | None:
-    """Run the trials on a process pool, or return ``None`` for serial fallback.
+    pending: Sequence[int] | None = None,
+    supervisor: SupervisorPolicy | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+) -> Dict[int, TrialResult] | None:
+    """Run trials on a supervised process pool; ``None`` for serial fallback.
 
     The trial body holds the GIL, so processes are the only executor worth
-    having; if the inputs fail the cheap pickle probe, or the pool breaks at
-    run time (e.g. a factory that pickles by reference but cannot be
-    resolved in the worker under the spawn start method), the caller runs
-    the plain serial loop instead — bit-identical either way.
+    having.  Inputs failing the cheap pickle probe return ``None`` before
+    anything runs and the caller takes the plain serial loop —
+    bit-identical either way.
+
+    Once trials are in flight the pool is *supervised* instead of
+    abandoned: a worker death (``BrokenProcessPool`` — previously this
+    discarded every completed trial and silently re-ran the whole
+    experiment serially) now tears the broken pool down, keeps every
+    completed result, and re-runs only the lost trials on a fresh pool
+    after an exponential backoff; a raise inside one trial retries just
+    that trial; and with ``supervisor.timeout`` set, a window in which *no*
+    trial completes is treated as a hung pool.  When step checkpointing is
+    on, a retried trial resumes from the dead worker's last snapshot
+    instead of from scratch.  A trial that exhausts
+    ``supervisor.max_retries`` degrades to an in-process serial run with
+    PR 3's ``RuntimeWarning`` shape — so the experiment completes (or
+    surfaces the trial's own deterministic error) rather than crashing on
+    infrastructure failure.
     """
-    payloads = [
-        (
+    indices = list(range(config.num_trials)) if pending is None else list(pending)
+    if not indices:
+        return {}
+    policy = supervisor or SupervisorPolicy()
+    resumable_retries = checkpoint_dir is not None and checkpoint_every > 0
+
+    def payload_for(trial_index: int) -> tuple:
+        # A retried trial may resume from the dead worker's checkpoint;
+        # the first attempt honors the caller's resume flag.
+        attempt_resume = resume or (
+            resumable_retries and attempts[trial_index] > 0
+        )
+        return (
             config,
             trial_index,
             policy_factory,
@@ -717,19 +996,104 @@ def _try_run_trials_in_processes(
             shard_parallel,
             retrain_mode,
             warm_start,
+            checkpoint_dir,
+            checkpoint_every,
+            attempt_resume,
+            supervisor,
         )
-        for trial_index in range(config.num_trials)
-    ]
-    if not _is_picklable(payloads[0]):
+
+    attempts: Dict[int, int] = {index: 0 for index in indices}
+    if not _is_picklable(payload_for(indices[0])):
         return None
-    trials: List[TrialResult] = []
+    results: Dict[int, TrialResult] = {}
+    waiting = list(indices)
+    executor: ProcessPoolExecutor | None = None
+    pool_failures = 0
     try:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            for trial in executor.map(_run_trial_task, payloads):
-                if moments is not None:
-                    moments.update(trial.group_default_rates)
-                if keep_trials:
-                    trials.append(trial)
-            return trials
-    except (pickle.PicklingError, BrokenProcessPool):
-        return None
+        while waiting:
+            # Trials past the retry budget degrade to the in-process
+            # serial path (their own deterministic errors then surface
+            # naturally instead of being retried forever).
+            for trial_index in [i for i in waiting if attempts[i] > policy.max_retries]:
+                warnings.warn(
+                    "parallel trials fell back to the serial path: trial "
+                    f"{trial_index} exhausted its retry budget "
+                    f"({policy.max_retries} retries)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                results[trial_index] = run_trial(
+                    config,
+                    trial_index=trial_index,
+                    policy_factory=policy_factory,
+                    terms=terms,
+                    income_table=income_table,
+                    history_mode=history_mode,
+                    num_shards=num_shards,
+                    shard_parallel=shard_parallel,
+                    retrain_mode=retrain_mode,
+                    warm_start=warm_start,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    resume=resume or resumable_retries,
+                    supervisor=supervisor,
+                )
+            waiting = [i for i in waiting if i not in results]
+            if not waiting:
+                break
+            failure: WorkerPoolFailure | None = None
+            try:
+                if executor is None:
+                    executor = ProcessPoolExecutor(
+                        max_workers=min(workers, len(waiting))
+                    )
+                future_map = {
+                    executor.submit(_run_trial_task, payload_for(index)): index
+                    for index in waiting
+                }
+            except (pickle.PicklingError, BrokenProcessPool) as error:
+                failure = WorkerPoolFailure("submitting trials failed", error)
+                future_map = {}
+            outstanding = set(future_map)
+            while outstanding and failure is None:
+                done, _ = wait(
+                    outstanding, timeout=policy.timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    failure = WorkerPoolFailure(
+                        "no trial completed within the supervision timeout", None
+                    )
+                    break
+                for future in done:
+                    trial_index = future_map[future]
+                    outstanding.discard(future)
+                    try:
+                        results[trial_index] = future.result()
+                    except BrokenProcessPool as error:
+                        failure = WorkerPoolFailure(
+                            "a trial worker process died", error
+                        )
+                        break
+                    except Exception as error:
+                        # The trial itself raised: retry just this one.
+                        attempts[trial_index] += 1
+            waiting = [i for i in waiting if i not in results]
+            if failure is not None and waiting:
+                pool_failures += 1
+                for trial_index in waiting:
+                    attempts[trial_index] += 1
+                kill_executor(executor)
+                executor = None
+                cause = failure.cause if failure.cause is not None else failure
+                warnings.warn(
+                    f"parallel trial pool failure ({failure.reason}: {cause!r}); "
+                    f"rebuilding the pool and re-running {len(waiting)} lost "
+                    f"trial(s) (pool failure {pool_failures})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                policy.sleep_before_retry(pool_failures)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+    return results

@@ -1,0 +1,24 @@
+"""Test-only utilities: deterministic fault injection for the chaos suite.
+
+Nothing in this package is imported by the production execution paths
+except the nano-cheap :func:`repro.testing.faults.fire` hook, which is a
+single dictionary lookup when no fault plan is installed.
+"""
+
+from repro.testing.faults import (
+    FaultInjected,
+    FaultSpec,
+    clear_plan,
+    fire,
+    install_plan,
+    plan_environment,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultSpec",
+    "clear_plan",
+    "fire",
+    "install_plan",
+    "plan_environment",
+]

@@ -42,6 +42,28 @@ class TestParser:
         assert not build_parser().parse_args(["fig3"]).trial_batch
         assert build_parser().parse_args(["--trial-batch", "fig3"]).trial_batch
 
+    def test_checkpoint_flags_are_parsed(self):
+        arguments = build_parser().parse_args(["fig3"])
+        assert arguments.checkpoint_dir is None
+        assert arguments.checkpoint_every == 0
+        assert not arguments.resume
+        arguments = build_parser().parse_args(
+            ["--checkpoint-dir", "/tmp/ckpt", "--checkpoint-every", "5", "--resume", "fig3"]
+        )
+        assert arguments.checkpoint_dir == "/tmp/ckpt"
+        assert arguments.checkpoint_every == 5
+        assert arguments.resume
+
+    def test_resume_without_checkpoint_dir_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--resume", "fig3"])
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_every_without_dir_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--checkpoint-every", "5", "fig3"])
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_fig2_prints_the_income_table(self, capsys):
@@ -104,3 +126,16 @@ class TestCommands:
         assert main(["--users", "60", "--trials", "1", "drift"]) == 0
         output = capsys.readouterr().out
         assert "Recession shock" in output
+
+    def test_fig3_checkpoints_then_resumes(self, capsys, tmp_path):
+        flags = [
+            "--users", "40", "--trials", "1",
+            "--checkpoint-dir", str(tmp_path), "--checkpoint-every", "5",
+        ]
+        assert main([*flags, "fig3"]) == 0
+        first = capsys.readouterr().out
+        # The completed trial's result is on disk, so a resumed run skips
+        # the simulation entirely and prints the identical figure.
+        assert (tmp_path / "trial-0000.result").exists()
+        assert main([*flags, "--resume", "fig3"]) == 0
+        assert capsys.readouterr().out == first

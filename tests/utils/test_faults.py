@@ -1,0 +1,150 @@
+"""Tests for repro.testing.faults: the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.testing.faults import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultSpec,
+    clear_plan,
+    fire,
+    install_plan,
+    plan_environment,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    """Every test starts and ends with no plan armed anywhere."""
+    clear_plan()
+    saved = os.environ.pop(FAULTS_ENV, None)
+    yield
+    clear_plan()
+    if saved is None:
+        os.environ.pop(FAULTS_ENV, None)
+    else:
+        os.environ[FAULTS_ENV] = saved
+
+
+class TestFaultSpec:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(site="loop_step", kind="explode")
+
+    def test_negative_delay_is_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            FaultSpec(site="loop_step", kind="hang", delay=-1.0)
+
+    def test_none_coordinates_are_wildcards(self):
+        spec = FaultSpec(site="loop_step", kind="raise")
+        assert spec.matches("loop_step", trial=3, shard=None, step=9)
+        assert not spec.matches("trial_worker", trial=3, shard=None, step=9)
+
+    def test_pinned_coordinates_must_agree(self):
+        spec = FaultSpec(site="loop_step", kind="raise", step=5)
+        assert spec.matches("loop_step", trial=None, shard=None, step=5)
+        assert not spec.matches("loop_step", trial=None, shard=None, step=6)
+        # A site that supplies no step cannot match a step-pinned spec.
+        assert not spec.matches("loop_step", trial=None, shard=None, step=None)
+
+    def test_identity_is_stable_and_distinct(self):
+        a = FaultSpec(site="loop_step", kind="raise", step=5)
+        b = FaultSpec(site="loop_step", kind="raise", step=6)
+        assert a.identity() == FaultSpec(site="loop_step", kind="raise", step=5).identity()
+        assert a.identity() != b.identity()
+
+
+class TestFiring:
+    def test_no_plan_is_a_no_op(self):
+        fire("loop_step", step=3)
+
+    def test_raise_kind_raises_fault_injected(self):
+        install_plan([FaultSpec(site="loop_step", kind="raise", step=3)])
+        fire("loop_step", step=2)  # wrong step: passes through
+        with pytest.raises(FaultInjected, match="loop_step"):
+            fire("loop_step", step=3)
+
+    def test_once_fires_exactly_once_in_process(self):
+        install_plan([FaultSpec(site="loop_step", kind="raise", step=3)])
+        with pytest.raises(FaultInjected):
+            fire("loop_step", step=3)
+        fire("loop_step", step=3)  # claimed: the replay passes through
+
+    def test_once_false_fires_every_time(self):
+        install_plan([FaultSpec(site="loop_step", kind="raise", step=3, once=False)])
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                fire("loop_step", step=3)
+
+    def test_once_claim_is_a_marker_file_with_state_dir(self, tmp_path):
+        spec = FaultSpec(site="loop_step", kind="raise", step=3)
+        install_plan([spec], state_dir=tmp_path)
+        with pytest.raises(FaultInjected):
+            fire("loop_step", step=3)
+        assert (tmp_path / f"fired-{spec.identity()}").exists()
+        # A *different* process replaying the coordinates would also pass:
+        # simulate by clearing this process's plan cache and re-arming.
+        clear_plan()
+        install_plan([spec], state_dir=tmp_path)
+        fire("loop_step", step=3)
+
+    def test_hang_kind_sleeps_for_delay(self):
+        # delay=0 keeps the test instant while exercising the sleep path.
+        install_plan([FaultSpec(site="loop_step", kind="hang", step=1, delay=0.0)])
+        fire("loop_step", step=1)
+
+    def test_torn_write_truncates_the_target_file(self, tmp_path):
+        target = tmp_path / "snapshot.ckpt"
+        target.write_bytes(b"x" * 100)
+        install_plan([FaultSpec(site="checkpoint_write", kind="torn_write")])
+        fire("checkpoint_write", path=str(target))
+        assert target.stat().st_size == 50
+
+    def test_torn_write_without_a_path_is_an_error(self):
+        install_plan([FaultSpec(site="loop_step", kind="torn_write")])
+        with pytest.raises(ValueError, match="without a path"):
+            fire("loop_step")
+
+
+class TestEnvironmentChannel:
+    def test_plan_environment_round_trips(self, tmp_path):
+        mapping = plan_environment(
+            [FaultSpec(site="trial_worker", kind="raise", trial=1)],
+            state_dir=tmp_path,
+        )
+        assert set(mapping) == {FAULTS_ENV}
+        document = json.loads(mapping[FAULTS_ENV])
+        assert document["state_dir"] == str(tmp_path)
+        os.environ.update(mapping)
+        with pytest.raises(FaultInjected):
+            fire("trial_worker", trial=1)
+
+    def test_env_plan_is_recached_when_the_value_changes(self):
+        os.environ.update(
+            plan_environment([FaultSpec(site="loop_step", kind="raise", once=False)])
+        )
+        with pytest.raises(FaultInjected):
+            fire("loop_step")
+        os.environ.update(
+            plan_environment([FaultSpec(site="trial_worker", kind="raise", once=False)])
+        )
+        fire("loop_step")  # old plan gone
+        with pytest.raises(FaultInjected):
+            fire("trial_worker")
+
+    def test_malformed_env_plan_is_an_actionable_error(self):
+        os.environ[FAULTS_ENV] = "{not json"
+        with pytest.raises(ValueError, match=FAULTS_ENV):
+            fire("loop_step")
+
+    def test_local_plan_wins_over_environment(self):
+        os.environ.update(
+            plan_environment([FaultSpec(site="loop_step", kind="raise", once=False)])
+        )
+        install_plan([])
+        fire("loop_step")  # env plan masked by the (empty) local plan
