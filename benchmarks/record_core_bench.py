@@ -24,6 +24,13 @@ bit-identical) together with ``cpu_count``: the pooled layouts only pay
 off on multi-core hosts, so the ratio is meaningless without the core
 count next to it.
 
+The entry also records the pooled shard *transport* timings
+(``measure_sharedmem``): the same 8-shard pooled workload driven once over
+the zero-copy ``multiprocessing.shared_memory`` arena and once over the
+per-step pickle baseline, with a ``TransportMeter`` recording the bytes
+each transport actually moved per step — the shared path must move zero
+pickled user-sized payloads.
+
 Finally the entry records the retrain-mode timings (``measure_retrain``):
 the per-year refit in ``exact`` (row-level IRLS) vs ``compressed``
 (sufficient-statistics count table) mode on a training set captured from a
@@ -169,6 +176,78 @@ def measure_sharded(num_users: int) -> dict:
         2,
     )
     return timings
+
+
+def measure_sharedmem(num_users: int) -> dict:
+    """Time the pooled shard step transports: shared-memory arena vs pickle.
+
+    Both transports run the identical 8-shard pooled layout (the
+    trajectories are bit-identical by construction — the transport moves
+    the same numbers, it just moves them differently), so the comparison
+    isolates the per-step message cost: the ``pickle`` baseline serialises
+    every worker's feature/action/rate rows plus the scattered decision
+    slices through the pool's pipes each step, while the ``shared``
+    transport memcpys them through one ``multiprocessing.shared_memory``
+    arena and sends only constant-size coordination tokens.  A
+    :class:`~repro.core.shardmem.TransportMeter` installed around each run
+    records the per-step bytes each transport actually moved — the
+    structural win that holds on any host — next to the wall clocks, which
+    only separate once real cores exist (on a single-CPU host both sides
+    are dominated by the same serialized compute, so ``cpu_count`` travels
+    with the numbers).
+    """
+    from repro.core import (
+        ClosedLoop,
+        CreditPopulation,
+        CreditScoringSystem,
+        DefaultRateFilter,
+    )
+    from repro.core.shardmem import TransportMeter, set_transport_meter
+    from repro.credit.lender import Lender
+    from repro.data import PopulationSpec, generate_population
+
+    num_steps = 20
+
+    def timed(transport: str) -> tuple[float, TransportMeter]:
+        synthetic = generate_population(PopulationSpec(size=num_users), rng=7)
+        population = CreditPopulation(population=synthetic, start_year=2002)
+        loop = ClosedLoop(
+            ai_system=CreditScoringSystem(Lender(cutoff=0.4, warm_up_rounds=2)),
+            population=population,
+            loop_filter=DefaultRateFilter(num_users=num_users),
+        )
+        meter = TransportMeter()
+        set_transport_meter(meter)
+        try:
+            start = time.perf_counter()
+            loop.run(
+                num_steps,
+                rng=7,
+                history_mode="aggregate",
+                groups=population.groups,
+                num_shards=8,
+                shard_parallel=True,
+                shard_transport=transport,
+            )
+            elapsed = time.perf_counter() - start
+        finally:
+            set_transport_meter(None)
+        return elapsed, meter
+
+    shared_s, shared_meter = timed("shared")
+    pickle_s, pickle_meter = timed("pickle")
+    return {
+        "sharedmem_8shards_shared_s": round(shared_s, 4),
+        "sharedmem_8shards_pickle_s": round(pickle_s, 4),
+        "sharedmem_wall_clock_speedup_x": round(pickle_s / max(shared_s, 1e-9), 2),
+        "sharedmem_per_step_shared_bytes": int(shared_meter.per_step_shared()),
+        "sharedmem_per_step_pickled_bytes_on_shared_path": int(
+            shared_meter.per_step_pickled()
+        ),
+        "sharedmem_per_step_pickled_bytes_baseline": int(
+            pickle_meter.per_step_pickled()
+        ),
+    }
 
 
 def measure_retrain(num_users: int) -> dict:
@@ -352,6 +431,11 @@ def main() -> None:
         help="skip the sharded-trial layout timings",
     )
     parser.add_argument(
+        "--skip-sharedmem",
+        action="store_true",
+        help="skip the shared-memory vs pickle shard-transport timings",
+    )
+    parser.add_argument(
         "--skip-retrain",
         action="store_true",
         help="skip the retrain-mode (exact vs compressed) timings",
@@ -371,6 +455,8 @@ def main() -> None:
     timings = measure(args.users)
     if not args.skip_sharded:
         timings.update(measure_sharded(args.users))
+    if not args.skip_sharedmem:
+        timings.update(measure_sharedmem(args.users))
     if not args.skip_retrain:
         timings.update(measure_retrain(args.users))
     if not args.skip_trial_batch:

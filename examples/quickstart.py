@@ -7,9 +7,10 @@ and prints the two assessments the paper's definitions ask for.
 
 It then reruns the same simulation through each engine variant in turn —
 streaming aggregation, sharded execution, sufficient-statistics
-retraining, the trial-batched sweep, and finally a kill-and-resume
-demonstration of the fault-tolerant checkpointing — showing at every step
-that the trajectory stays bit-identical.
+retraining, the trial-batched sweep, a kill-and-resume demonstration of
+the fault-tolerant checkpointing, and finally the unified execution
+planner (``execution="auto"``) that picks among all of the above by
+itself — showing at every step that the trajectory stays bit-identical.
 
 Run with::
 
@@ -329,6 +330,49 @@ def kill_and_resume_variant() -> None:
             print(
                 f"  trial {index}: resumed run bit-identical to uninterrupted: {identical}"
             )
+
+    planner_variant()
+
+
+def planner_variant() -> None:
+    """One knob instead of three switches (``execution="auto"``).
+
+    Every layout shown above — the serial loop, the trial-batched
+    tensor engine, the trial pool, the shared-memory shard pool — is
+    now composed behind the unified execution planner.
+    ``execution="auto"`` inspects the host's core count and the
+    workload shape (trials, users, steps, history/retrain mode,
+    checkpoint knobs), picks the layout itself, and can compose two of
+    them (pooled trials x sharded users) when spare cores justify it.
+    The knob is purely a wall-clock choice: whatever plan the planner
+    picks — on whatever machine — the trajectory is bit-identical to
+    the serial reference, so a config carrying ``execution="auto"`` is
+    safe to share between a laptop, a 64-core box and a CI runner.
+    """
+    from repro.core.planner import plan_execution
+    from repro.experiments import CaseStudyConfig, run_experiment
+
+    config = CaseStudyConfig(num_users=300, num_trials=4, execution="auto")
+    plan = plan_execution(
+        "auto",
+        trials=config.num_trials,
+        users=config.num_users,
+        steps=config.num_steps,
+    )
+    serial = run_experiment(CaseStudyConfig(num_users=300, num_trials=4))
+    auto = run_experiment(config)  # the config knob routes through the planner
+
+    print("\n-- unified planner variant (execution='auto') --")
+    print(f"  plan on this host: {plan.describe()}")
+    for index, (serial_trial, auto_trial) in enumerate(
+        zip(serial.trials, auto.trials)
+    ):
+        identical = bool(
+            np.array_equal(
+                serial_trial.user_default_rates, auto_trial.user_default_rates
+            )
+        )
+        print(f"  trial {index}: bit-identical to the serial reference: {identical}")
 
 
 if __name__ == "__main__":

@@ -53,6 +53,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> CaseStudyConfig:
         checkpoint_dir=arguments.checkpoint_dir,
         checkpoint_every=arguments.checkpoint_every,
         resume=arguments.resume,
+        execution=arguments.execution,
     )
     if arguments.full:
         return CaseStudyConfig(**shared)
@@ -101,6 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
             "to the serial trial loop; the winning strategy on few cores "
             "with many trials (takes precedence over trial pooling and "
             "ignores --shard-parallel)"
+        ),
+    )
+    parser.add_argument(
+        "--execution",
+        choices=["auto", "serial", "batch", "pool", "shard"],
+        default=None,
+        help=(
+            "one knob in front of the three execution layouts, resolved by "
+            "the planner from (cpu_count, trials, users, steps, checkpoint "
+            "knobs): 'serial' runs in-process, 'batch' runs trials in "
+            "lockstep (the tensor engine), 'pool' runs trials on a process "
+            "pool, 'shard' splits each trial's users over a worker pool, "
+            "and 'auto' picks — possibly composing pooled trials with "
+            "sharded users.  Every choice is bit-identical; this knob only "
+            "changes the wall clock.  Replaces --trial-batch and "
+            "--shard-parallel (combining them is rejected); --shards is "
+            "treated as a worker-count hint"
         ),
     )
     parser.add_argument(

@@ -63,6 +63,7 @@ as a single shard and keep the legacy one-generator ``begin_step``/
 
 from __future__ import annotations
 
+import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -82,9 +83,15 @@ from repro.core.checkpoint import (
 from repro.core.filters import DefaultRateFilter, LoopFilter
 from repro.core.history import SimulationHistory, StepRecord
 from repro.core.population import Population
+from repro.core.shardmem import ArenaSpec, SharedMemoryArena, transport_meter
 from repro.core.sharding import PopulationShard, ShardPlan, shard_population
 from repro.core.streaming import AggregateHistory
-from repro.core.supervision import SupervisorPolicy, WorkerPoolFailure, kill_executor
+from repro.core.supervision import (
+    SupervisorPolicy,
+    WorkerPoolFailure,
+    kill_executor,
+    release_resources,
+)
 from repro.scoring.features import clipped_default_rates, income_code
 from repro.scoring.suffstats import CompressedDesign, merge_tables
 from repro.testing.faults import fire as _fire_fault
@@ -94,6 +101,7 @@ __all__ = ["ClosedLoop"]
 
 _MAX_SEED = 2**63 - 1
 _RETRAIN_MODES = ("exact", "compressed")
+_SHARD_TRANSPORTS = ("shared", "pickle")
 
 
 def _resolve_population_plan(population) -> Tuple[ShardPlan, bool]:
@@ -121,9 +129,16 @@ def _pool_worker_init(token: str, payload: Dict[str, object]) -> bool:
     mid-run failure resumes from the supervisor's snapshot instead of from
     a blank filter.  A fresh run passes the all-zero sliced state, which is
     identical to plain construction.
+
+    ``arena`` (an :class:`~repro.core.shardmem.ArenaSpec`, when given)
+    switches the worker to the zero-copy transport: it maps the shared
+    segment once here and thereafter exchanges its per-step feature /
+    decision / action slices through rows ``[lo, hi)`` of the shared
+    tensor instead of pickled executor messages.
     """
     shard: PopulationShard = payload["shard"]
     filter_state = payload.get("filter_state")
+    arena_spec: ArenaSpec | None = payload.get("arena")
     _WORKER_STATE[token] = {
         "population": shard.population,
         "shard_ids": shard.shard_ids,
@@ -136,14 +151,23 @@ def _pool_worker_init(token: str, payload: Dict[str, object]) -> bool:
             else DefaultRateFilter.from_state(filter_state)
         ),
         "suffstats": payload.get("suffstats"),
+        "arena": None if arena_spec is None else SharedMemoryArena.attach(arena_spec),
+        "worker_index": payload.get("worker_index", 0),
+        "lo": shard.lo,
+        "hi": shard.hi,
         "step_features": {},
         "step_rngs": {},
     }
     return True
 
 
-def _pool_worker_begin(token: str, k: int) -> Dict[str, np.ndarray]:
-    """Phase 1 of step ``k``: reveal the worker's public features."""
+def _pool_worker_begin(token: str, k: int) -> Dict[str, np.ndarray] | bool:
+    """Phase 1 of step ``k``: reveal the worker's public features.
+
+    With an arena attached the feature slices are written into the shared
+    tensor in place and only ``True`` crosses the executor pipe; without
+    one the feature dict is returned (pickled) as before.
+    """
     state = _WORKER_STATE[token]
     _fire_fault("shard_worker_begin", shard=int(state["shard_ids"][0]), step=k)
     rngs = [
@@ -157,23 +181,40 @@ def _pool_worker_begin(token: str, k: int) -> Dict[str, np.ndarray]:
         # stash the feature slice it will need (decide happens centrally,
         # so the worker never sees it again otherwise).
         state["step_features"][k] = features
-    return features
+    arena: SharedMemoryArena | None = state["arena"]
+    if arena is None:
+        return features
+    for name in arena.feature_channels:
+        arena.write_channel(name, state["lo"], state["hi"], features[name])
+    return True
 
 
 def _pool_worker_respond(
-    token: str, k: int, decisions: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, float, float, CompressedDesign | None]:
+    token: str, k: int, decisions: np.ndarray | None = None
+) -> (
+    Tuple[np.ndarray, np.ndarray, float, float, CompressedDesign | None]
+    | CompressedDesign
+    | None
+):
     """Phase 2 of step ``k``: respond, update the shard filter.
 
-    Returns ``(actions, user_default_rates, offers_total, repayments_total,
-    count_table)`` — the pieces the orchestrator needs to assemble the exact
-    global observation, plus (under sufficient-statistics retraining) the
-    shard's compressed training rows: ``(income code, previous rate,
-    repayment)`` of the offered users, built from the *pre-update* shard
-    rates — exactly the delayed feedback the central refit trains on.
+    Without an arena, returns ``(actions, user_default_rates, offers_total,
+    repayments_total, count_table)`` — the pieces the orchestrator needs to
+    assemble the exact global observation, plus (under
+    sufficient-statistics retraining) the shard's compressed training rows:
+    ``(income code, previous rate, repayment)`` of the offered users, built
+    from the *pre-update* shard rates — exactly the delayed feedback the
+    central refit trains on.
+
+    With an arena (``decisions is None``), the decision slice is read from
+    the shared tensor and the array/scalar pieces are written back in
+    place; only the count table (or ``None``) crosses the pipe.
     """
     state = _WORKER_STATE[token]
     _fire_fault("shard_worker_respond", shard=int(state["shard_ids"][0]), step=k)
+    arena: SharedMemoryArena | None = state["arena"]
+    if decisions is None:
+        decisions = arena.read_channel_slice("decisions", state["lo"], state["hi"])
     rngs = state["step_rngs"].pop(k)
     actions = np.asarray(
         state["population"].respond(decisions, k, rngs), dtype=float
@@ -196,6 +237,21 @@ def _pool_worker_respond(
         )
     observation = shard_filter.update(decisions, actions, k)
     tracker = shard_filter.tracker
+    if arena is not None:
+        lo, hi = state["lo"], state["hi"]
+        arena.write_channel("actions", lo, hi, actions)
+        arena.write_channel(
+            "user_rates",
+            lo,
+            hi,
+            np.asarray(observation["user_default_rates"], dtype=float),
+        )
+        arena.write_scalars(
+            state["worker_index"],
+            float(tracker.offers.sum()),
+            float(tracker.repayments.sum()),
+        )
+        return table
     return (
         actions,
         np.asarray(observation["user_default_rates"], dtype=float),
@@ -208,6 +264,9 @@ def _pool_worker_respond(
 def _pool_worker_finalize(token: str) -> Tuple[Dict[str, object], Dict[str, object]]:
     """Collect the worker's final population and filter state."""
     state = _WORKER_STATE.pop(token)
+    arena: SharedMemoryArena | None = state["arena"]
+    if arena is not None:
+        arena.close()  # drop the mapping; the orchestrator owns the unlink
     return (
         state["population"].export_shard_state(),
         state["filter"].export_state(),
@@ -235,6 +294,12 @@ class _ShardWorkerPool:
     to one OS process across the whole run — the worker functions above
     keep the sliced population, the derived streams and the shard filter in
     module state between the per-step task submissions.
+
+    When built with an ``arena``, the pool *owns* its shared-memory
+    segment: every exit route (successful finalize, supervised teardown
+    before a rebuild, serial fallback, any raise during construction)
+    funnels through :meth:`shutdown`, which destroys the arena exactly
+    once — the invariant the chaos suite's ``/dev/shm`` leak oracle pins.
     """
 
     def __init__(
@@ -246,9 +311,11 @@ class _ShardWorkerPool:
         suffstats_spec: Dict[str, object] | None = None,
         filter_states: Sequence[Dict[str, object] | None] | None = None,
         timeout: float | None = None,
+        arena: SharedMemoryArena | None = None,
     ) -> None:
         self.shards = list(shards)
         self.token = token
+        self.arena = arena
         self._timeout = timeout
         self._executors: List[ProcessPoolExecutor] = []
         if filter_states is None:
@@ -267,10 +334,12 @@ class _ShardWorkerPool:
                         "prior_rate": prior_rate,
                         "suffstats": suffstats_spec,
                         "filter_state": filter_state,
+                        "arena": None if arena is None else arena.spec,
+                        "worker_index": index,
                     },
                 )
-                for executor, shard, filter_state in zip(
-                    self._executors, self.shards, filter_states
+                for index, (executor, shard, filter_state) in enumerate(
+                    zip(self._executors, self.shards, filter_states)
                 )
             ]
             for future in futures:
@@ -307,16 +376,37 @@ class _ShardWorkerPool:
                 raise WorkerPoolFailure("a shard worker raised", error)
         return results
 
-    def map_begin(self, k: int) -> List[Dict[str, np.ndarray]]:
-        return self._gather(
+    def map_begin(self, k: int) -> List[Dict[str, np.ndarray] | bool]:
+        results = self._gather(
             [
                 executor.submit(_pool_worker_begin, self.token, k)
                 for executor in self._executors
             ]
         )
+        meter = transport_meter()
+        if meter is not None and self.arena is None:
+            meter.add_pickled(sum(len(pickle.dumps(piece)) for piece in results))
+        return results
 
     def map_respond(self, k: int, decisions: np.ndarray):
-        return self._gather(
+        if self.arena is not None:
+            # Scatter by shared write: one memcpy of the decision row, read
+            # in place by every worker — nothing user-sized hits the pipes.
+            self.arena.write_channel(
+                "decisions", 0, self.arena.spec.num_users, decisions
+            )
+            responses = self._gather(
+                [
+                    executor.submit(_pool_worker_respond, self.token, k, None)
+                    for executor in self._executors
+                ]
+            )
+            meter = transport_meter()
+            if meter is not None:
+                meter.add_shared(self.arena.per_step_bytes())
+                meter.note_step()
+            return responses
+        responses = self._gather(
             [
                 executor.submit(
                     _pool_worker_respond,
@@ -327,6 +417,17 @@ class _ShardWorkerPool:
                 for executor, shard in zip(self._executors, self.shards)
             ]
         )
+        meter = transport_meter()
+        if meter is not None:
+            meter.add_pickled(
+                sum(
+                    len(pickle.dumps(decisions[shard.lo : shard.hi]))
+                    for shard in self.shards
+                )
+                + sum(len(pickle.dumps(response)) for response in responses)
+            )
+            meter.note_step()
+        return responses
 
     def export_states(self):
         """Gather every worker's (population, filter) state, workers kept."""
@@ -345,10 +446,23 @@ class _ShardWorkerPool:
             ]
         )
 
-    def shutdown(self) -> None:
+    def shutdown(self, graceful: bool = False) -> None:
+        # Failure routes must not wait on workers that may be hung, so they
+        # get the terminate-first teardown; the clean route waits for the
+        # (idle) pools to exit fully, otherwise their management threads
+        # race the interpreter's own atexit pool cleanup and can spray
+        # "Bad file descriptor" tracebacks on exit.
         for executor in self._executors:
-            kill_executor(executor)
+            if graceful:
+                executor.shutdown(wait=True, cancel_futures=True)
+            else:
+                kill_executor(executor)
         self._executors = []
+        # After the workers are dead their mappings are gone, so the owner's
+        # close+unlink here removes the segment from the system on every
+        # exit route (success, rebuild, fallback, raise).
+        release_resources(self.arena)
+        self.arena = None
 
 
 class ClosedLoop:
@@ -453,6 +567,7 @@ class ClosedLoop:
         retrain_mode: str | None = None,
         checkpoint: CheckpointSpec | None = None,
         supervisor: SupervisorPolicy | None = None,
+        shard_transport: str = "shared",
     ) -> SimulationHistory | AggregateHistory:
         """Run the loop for ``num_steps`` steps and return the history.
 
@@ -534,6 +649,16 @@ class ClosedLoop:
             budget the run degrades to the bit-identical serial path with
             a :class:`RuntimeWarning`.  ``None`` applies the default
             policy.
+        shard_transport:
+            Transport of the pooled path's per-step payloads:
+            ``"shared"`` (default) exchanges the feature/decision/action
+            arrays through one
+            :class:`~repro.core.shardmem.SharedMemoryArena` per pool
+            (workers write their shard slices in place, the orchestrator
+            reads whole rows — bit-identical values, no per-step
+            pickling); ``"pickle"`` keeps the legacy executor messages.
+            Populations that don't expose ``feature_channels`` use the
+            pickle transport regardless.
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
@@ -547,6 +672,11 @@ class ClosedLoop:
             raise ValueError(
                 f'retrain_mode must be one of {_RETRAIN_MODES} (or None), '
                 f"got {retrain_mode!r}"
+            )
+        if shard_transport not in _SHARD_TRANSPORTS:
+            raise ValueError(
+                f"shard_transport must be one of {_SHARD_TRANSPORTS}, "
+                f"got {shard_transport!r}"
             )
         continuing = history is not None and history.num_steps > 0
         self._resolve_stream_base(rng, continuing=continuing)
@@ -572,6 +702,7 @@ class ClosedLoop:
                 retrain_mode,
                 checkpoint=checkpoint,
                 supervisor=supervisor,
+                shard_transport=shard_transport,
             )
             if pooled is not None:
                 return pooled
@@ -826,12 +957,42 @@ class ClosedLoop:
             return None
         return spec
 
+    def _build_arena(
+        self, shard_transport: str, num_workers: int
+    ) -> SharedMemoryArena | None:
+        """Allocate the pool's shared arena, or ``None`` for pickling.
+
+        Requires the population to declare its public-feature channel
+        names (``feature_channels``); populations without the hook — e.g.
+        hand-written test doubles — keep the pickle transport, which is
+        bit-identical.  An allocation failure (no ``/dev/shm``, exhausted
+        segment quota) also degrades to pickling, with a warning.
+        """
+        if shard_transport != "shared":
+            return None
+        channels = getattr(self._population, "feature_channels", None)
+        if channels is None:
+            return None
+        try:
+            return SharedMemoryArena.create(
+                tuple(channels), self._population.num_users, num_workers
+            )
+        except Exception as error:
+            warnings.warn(
+                "shared-memory arena allocation failed; the pooled path is "
+                f"using the pickle transport instead ({error!r})",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None
+
     def _start_pool(
         self,
         shards: Sequence[PopulationShard],
         prior_rate: float,
         suffstats_spec: Dict[str, object] | None,
         policy: SupervisorPolicy,
+        shard_transport: str = "shared",
     ) -> _ShardWorkerPool:
         """Start a worker pool seeded with the filter's *current* state.
 
@@ -839,6 +1000,9 @@ class ClosedLoop:
         both a fresh start (all-zero counts, identical to plain worker
         construction) and a supervised restart from a mid-run snapshot
         (each rebuilt worker resumes its shard's exact integer counts).
+        Every call allocates a fresh arena (when the transport is shared),
+        so a supervised rebuild never reuses a segment a dying worker
+        might still be writing.
         """
         state = self._filter.export_state()
         filter_states = [
@@ -846,6 +1010,7 @@ class ClosedLoop:
         ]
         self._pool_token_counter += 1
         token = f"closedloop-{id(self):x}-{self._pool_token_counter}"
+        arena = self._build_arena(shard_transport, len(shards))
         return _ShardWorkerPool(
             shards,
             self._stream_base,
@@ -854,6 +1019,7 @@ class ClosedLoop:
             suffstats_spec,
             filter_states=filter_states,
             timeout=policy.timeout,
+            arena=arena,
         )
 
     def _try_run_pooled(
@@ -864,6 +1030,7 @@ class ClosedLoop:
         retrain_mode: str | None = None,
         checkpoint: CheckpointSpec | None = None,
         supervisor: SupervisorPolicy | None = None,
+        shard_transport: str = "shared",
     ) -> SimulationHistory | AggregateHistory | None:
         """Run the shards on supervised worker processes.
 
@@ -901,7 +1068,9 @@ class ClosedLoop:
         # probing would serialize every population slice a second time.
         suffstats_spec = self._resolve_suffstats_spec(retrain_mode)
         try:
-            pool = self._start_pool(shards, prior_rate, suffstats_spec, policy)
+            pool = self._start_pool(
+                shards, prior_rate, suffstats_spec, policy, shard_transport
+            )
         except Exception as error:
             self._warn_serial_fallback("starting the worker pool failed", error)
             return None
@@ -943,7 +1112,7 @@ class ClosedLoop:
                     try:
                         shards = shard_population(self._population, num_shards)
                         pool = self._start_pool(
-                            shards, prior_rate, suffstats_spec, policy
+                            shards, prior_rate, suffstats_spec, policy, shard_transport
                         )
                         continue
                     except Exception as rebuild_error:
@@ -977,9 +1146,19 @@ class ClosedLoop:
         """
         try:
             observation_before = self._filter.observation()
+            arena = pool.arena
             for k in range(record_book.num_steps, num_steps):
                 feature_slices = pool.map_begin(k)
-                public_features = _concatenate_features(feature_slices)
+                if arena is not None:
+                    # The workers wrote their slices in place; one copy per
+                    # channel row replaces the pickled concatenation —
+                    # same float64 values in the same user order.
+                    public_features = {
+                        name: arena.read_channel(name)
+                        for name in arena.feature_channels
+                    }
+                else:
+                    public_features = _concatenate_features(feature_slices)
                 decisions = np.asarray(
                     self._ai_system.decide(public_features, observation_before, k),
                     dtype=float,
@@ -990,20 +1169,26 @@ class ClosedLoop:
                         f"({decisions.shape[0]} != {self._population.num_users})"
                     )
                 responses = pool.map_respond(k, decisions)
-                actions = np.concatenate([response[0] for response in responses])
-                user_rates = np.concatenate([response[1] for response in responses])
-                offers_total = sum(response[2] for response in responses)
-                repayments_total = sum(response[3] for response in responses)
+                if arena is not None:
+                    actions = arena.read_channel("actions")
+                    user_rates = arena.read_channel("user_rates")
+                    offers_total, repayments_total = arena.scalar_totals()
+                    tables = responses
+                else:
+                    actions = np.concatenate([response[0] for response in responses])
+                    user_rates = np.concatenate(
+                        [response[1] for response in responses]
+                    )
+                    offers_total = sum(response[2] for response in responses)
+                    repayments_total = sum(response[3] for response in responses)
+                    tables = [response[4] for response in responses]
                 if self._retrain:
                     if suffstats_spec is not None:
                         # Shard count tables merge by exact integer
                         # addition into the whole-population table, so the
                         # central refit touches only O(unique rows).
                         self._ai_system.update_from_suffstats(
-                            merge_tables(
-                                [response[4] for response in responses]
-                            ),
-                            k,
+                            merge_tables(tables), k
                         )
                     else:
                         self._ai_system.update(
@@ -1039,7 +1224,7 @@ class ClosedLoop:
             pool.shutdown()
             raise
         self._merge_worker_states(final_states, shards)
-        pool.shutdown()
+        pool.shutdown(graceful=True)
         return record_book
 
     def _fold_worker_states(

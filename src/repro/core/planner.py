@@ -1,0 +1,456 @@
+"""The unified execution planner: one knob in front of three layouts.
+
+The engine grew three execution layouts, each with its own switch and its
+own rule of thumb:
+
+* ``trial_batch`` — the lockstep tensor engine: best with one core and
+  many trials (it amortises the per-step Python dispatch, not the math);
+* ``parallel`` — the trial process pool: best with several cores and
+  several heavy trials;
+* ``num_shards``/``shard_parallel`` — the intra-trial shard pool: best
+  with several cores and one giant trial.
+
+:func:`plan_execution` folds that folklore into code: given the workload
+shape (trials, users, steps), the host (``cpu_count``), the recording and
+retraining modes, and the checkpoint knobs, it resolves a single
+``execution`` request — ``"auto"``, ``"serial"``, ``"batch"``, ``"pool"``
+or ``"shard"`` — into an :class:`ExecutionPlan` holding the concrete
+layout switches the runner threads through.  ``"auto"`` may *compose*
+layouts (trial pooling × user sharding when cores outnumber trials); an
+optional calibration micro-bench (:func:`measure_dispatch_overhead`)
+refines the batch-vs-serial call on dispatch-bound workloads.
+
+Two invariants the rest of the engine supplies and the planner preserves:
+
+* **Every plan is bit-identical.**  All layouts reproduce the serial
+  golden stream (pinned by the consolidated differential harness in
+  ``tests/experiments/``), so planning is purely a performance decision —
+  ``auto`` can never change a trajectory.
+* **Plans are not part of a trajectory's identity.**  Checkpoint
+  fingerprints exclude the execution layout (see
+  ``repro.experiments.runner._trial_fingerprint``), so a run checkpointed
+  under one plan resumes bit-identically under another — including
+  ``execution="auto"`` resumed on a host with a different ``cpu_count``.
+
+Forbidden combinations (``"batch"`` × checkpointing, the ``execution``
+knob alongside the legacy layout switches) are rejected at configuration
+time by :func:`validate_execution_settings`, mirroring
+:func:`repro.experiments.config.validate_checkpoint_settings`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.sharding import max_worker_shards
+
+__all__ = [
+    "EXECUTION_MODES",
+    "ExecutionPlan",
+    "plan_execution",
+    "validate_execution_settings",
+    "measure_dispatch_overhead",
+]
+
+#: The values the ``execution`` knob accepts.
+EXECUTION_MODES = ("auto", "serial", "batch", "pool", "shard")
+
+#: Below this population size ``auto`` never reaches for the shard pool:
+#: the per-step pool round-trip costs more than the per-user math saves.
+AUTO_SHARD_MIN_USERS = 2048
+
+#: ``auto`` composes trial pooling with user sharding only when at least
+#: this many cores are left per pooled trial.
+AUTO_COMPOSE_MIN_CORES_PER_TRIAL = 2
+
+#: Calibration threshold: when the measured per-step dispatch overhead is
+#: below this fraction of a step's vectorized work, batching has nothing
+#: to amortise and ``auto`` keeps the serial loop.
+AUTO_BATCH_MIN_DISPATCH_FRACTION = 0.01
+
+
+def _detect_cpu_count() -> int:
+    """Return the host's CPU count (monkeypatchable seam for tests)."""
+    return os.cpu_count() or 1
+
+
+def validate_execution_settings(
+    execution: Optional[str],
+    *,
+    parallel: bool = False,
+    trial_batch: bool = False,
+    shard_parallel: bool = False,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+) -> None:
+    """Reject unusable ``execution`` combinations with actionable errors.
+
+    Called from :class:`~repro.experiments.config.CaseStudyConfig`
+    construction and from the runners' override merges, so a bad
+    combination fails at configuration time — the same contract as
+    :func:`~repro.experiments.config.validate_checkpoint_settings`.
+    """
+    if execution is None:
+        return
+    if execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {EXECUTION_MODES} (or None), "
+            f"got {execution!r}"
+        )
+    if parallel or trial_batch or shard_parallel:
+        raise ValueError(
+            "the execution knob replaces the legacy layout switches: drop "
+            "parallel/trial_batch/shard_parallel when setting execution "
+            f"(got execution={execution!r})"
+        )
+    if execution == "batch" and (checkpoint_every > 0 or resume):
+        raise ValueError(
+            'execution="batch" is incompatible with checkpointing (the '
+            "batched engine advances all trials in lockstep with no "
+            "per-trial boundary to snapshot); pick another execution mode, "
+            "or drop the checkpoint_every/resume knobs"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The resolved layout switches of one experiment (or trial) run.
+
+    Attributes
+    ----------
+    execution:
+        The requested knob value (``"auto"``, ``"serial"``, ...).
+    layout:
+        The resolved headline layout: ``"serial"``, ``"batch"``,
+        ``"pool"``, ``"shard"`` or the composition ``"pool+shard"``.
+    trial_batch, parallel, max_workers, num_shards, shard_parallel:
+        The concrete switches the runner threads into
+        ``run_experiment``/``run_trial``/``ClosedLoop.run``.
+    cpu_count:
+        The core count the planner saw.  Recorded for diagnostics only —
+        it is *excluded* from checkpoint fingerprints, so plans chosen on
+        different hosts resume each other's checkpoints bit-identically.
+    calibrated:
+        Whether the calibration micro-bench informed the choice.
+    """
+
+    execution: str
+    layout: str
+    trial_batch: bool
+    parallel: bool
+    max_workers: Optional[int]
+    num_shards: int
+    shard_parallel: bool
+    cpu_count: int
+    calibrated: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Assert the plan's internal consistency (no forbidden combos)."""
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {self.execution!r}")
+        if self.trial_batch and (self.parallel or self.shard_parallel):
+            raise ValueError(
+                "a batched plan cannot also pool trials or shards (the "
+                "batched engine owns every trial in one process)"
+            )
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if self.shard_parallel and self.num_shards < 2:
+            raise ValueError("a sharded plan needs at least two worker shards")
+        if self.parallel and (self.max_workers is None or self.max_workers < 1):
+            raise ValueError("a pooled plan needs a positive worker count")
+        if self.cpu_count < 1:
+            raise ValueError("cpu_count must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        return {
+            "execution": self.execution,
+            "layout": self.layout,
+            "trial_batch": self.trial_batch,
+            "parallel": self.parallel,
+            "max_workers": self.max_workers,
+            "num_shards": self.num_shards,
+            "shard_parallel": self.shard_parallel,
+            "cpu_count": self.cpu_count,
+            "calibrated": self.calibrated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExecutionPlan":
+        """Rebuild a plan from :meth:`to_dict` output (validates on build)."""
+        return cls(
+            execution=str(payload["execution"]),
+            layout=str(payload["layout"]),
+            trial_batch=bool(payload["trial_batch"]),
+            parallel=bool(payload["parallel"]),
+            max_workers=(
+                None
+                if payload.get("max_workers") is None
+                else int(payload["max_workers"])
+            ),
+            num_shards=int(payload["num_shards"]),
+            shard_parallel=bool(payload["shard_parallel"]),
+            cpu_count=int(payload["cpu_count"]),
+            calibrated=bool(payload.get("calibrated", False)),
+        )
+
+    def describe(self) -> str:
+        """Return a one-line human summary of the plan."""
+        pieces = [f"{self.execution}->{self.layout}"]
+        if self.parallel:
+            pieces.append(f"{self.max_workers} trial workers")
+        if self.trial_batch:
+            pieces.append("lockstep trials")
+        if self.shard_parallel:
+            pieces.append(f"{self.num_shards} shard workers")
+        if not (self.parallel or self.trial_batch or self.shard_parallel):
+            pieces.append("in-process")
+        return ", ".join(pieces) + f" (saw {self.cpu_count} cpu)"
+
+
+def measure_dispatch_overhead(users: int, probes: int = 3) -> float:
+    """Estimate the per-step Python dispatch fraction of one loop step.
+
+    Times a trivial Python call chain (the fixed per-step cost batching
+    amortises) against one vectorized O(users) kernel (the work that
+    doesn't shrink), and returns ``dispatch / (dispatch + work)`` from the
+    best of ``probes`` runs.  The probe array is capped so calibration
+    costs milliseconds even for million-user plans.  Calibration only ever
+    tunes the *layout* — every layout is bit-identical, so a noisy probe
+    cannot perturb a trajectory.
+    """
+    size = max(16, min(int(users), 1 << 16))
+    values = np.linspace(0.0, 1.0, size)
+    out = np.empty_like(values)
+
+    def _noop(payload: Dict[str, float]) -> Dict[str, float]:
+        return payload
+
+    best_work = float("inf")
+    best_dispatch = float("inf")
+    for _ in range(max(1, probes)):
+        start = time.perf_counter()
+        np.multiply(values, 1.0000001, out=out)
+        np.clip(out, 0.0, 1.0, out=out)
+        best_work = min(best_work, time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(8):
+            _noop({"step": 0.0})["step"]
+        best_dispatch = min(best_dispatch, time.perf_counter() - start)
+    total = best_work + best_dispatch
+    if total <= 0.0:
+        return 0.0
+    return best_dispatch / total
+
+
+def _shard_worker_count(
+    users: int, cores: int, requested: Optional[int]
+) -> int:
+    """Resolve the shard-pool worker count for one trial.
+
+    Capped by the canonical shard count (extra workers would idle — see
+    :func:`~repro.core.sharding.max_worker_shards`) and the population
+    size; an explicit request wins over the core count.
+    """
+    ceiling = max_worker_shards(users)
+    if requested is not None:
+        return max(1, min(int(requested), ceiling))
+    return max(1, min(max(cores, 2), ceiling))
+
+
+def plan_execution(
+    execution: str,
+    *,
+    trials: int,
+    users: int,
+    steps: int,
+    history_mode: str = "full",
+    retrain_mode: str = "exact",
+    checkpoint_every: int = 0,
+    resume: bool = False,
+    cpu_count: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    calibrate: bool = False,
+) -> ExecutionPlan:
+    """Resolve an ``execution`` request into an :class:`ExecutionPlan`.
+
+    Deterministic for fixed inputs (``cpu_count`` included; it defaults to
+    the live core count) unless ``calibrate`` lets the micro-bench break a
+    batch-vs-serial tie.  ``history_mode`` and ``retrain_mode`` are
+    accepted for completeness — every layout supports both today, so they
+    do not steer the choice, but the signature is the stable seam where a
+    mode-specific layout preference would land.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if users < 1:
+        raise ValueError("users must be positive")
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if history_mode not in ("full", "aggregate"):
+        raise ValueError(
+            f'history_mode must be "full" or "aggregate", got {history_mode!r}'
+        )
+    if retrain_mode not in ("exact", "compressed"):
+        raise ValueError(
+            f'retrain_mode must be "exact" or "compressed", got {retrain_mode!r}'
+        )
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be positive when given")
+    validate_execution_settings(
+        execution, checkpoint_every=checkpoint_every, resume=resume
+    )
+    cores = _detect_cpu_count() if cpu_count is None else int(cpu_count)
+    if cores < 1:
+        raise ValueError("cpu_count must be positive")
+    checkpointing = checkpoint_every > 0 or resume
+
+    def serial_plan(requested: str, calibrated: bool = False) -> ExecutionPlan:
+        return ExecutionPlan(
+            execution=requested,
+            layout="serial",
+            trial_batch=False,
+            parallel=False,
+            max_workers=None,
+            num_shards=1,
+            shard_parallel=False,
+            cpu_count=cores,
+            calibrated=calibrated,
+        )
+
+    if execution == "serial":
+        return serial_plan("serial")
+
+    if execution == "batch":
+        # validate_execution_settings above already rejected checkpointing.
+        return ExecutionPlan(
+            execution="batch",
+            layout="batch",
+            trial_batch=True,
+            parallel=False,
+            max_workers=None,
+            num_shards=1,
+            shard_parallel=False,
+            cpu_count=cores,
+        )
+
+    if execution == "pool":
+        if trials < 2:
+            return serial_plan("pool")  # nothing to pool over
+        workers = min(trials, cores if max_workers is None else max_workers)
+        return ExecutionPlan(
+            execution="pool",
+            layout="pool",
+            trial_batch=False,
+            parallel=True,
+            max_workers=max(1, workers),
+            num_shards=1,
+            shard_parallel=False,
+            cpu_count=cores,
+        )
+
+    if execution == "shard":
+        shards = _shard_worker_count(users, cores, num_shards)
+        if shards < 2:
+            return serial_plan("shard")  # one-user-ish populations
+        return ExecutionPlan(
+            execution="shard",
+            layout="shard",
+            trial_batch=False,
+            parallel=False,
+            max_workers=None,
+            num_shards=shards,
+            shard_parallel=True,
+            cpu_count=cores,
+        )
+
+    # execution == "auto"
+    if trials > 1:
+        if cores > 1:
+            workers = min(trials, cores if max_workers is None else max_workers)
+            workers = max(1, workers)
+            spare = cores // workers
+            if (
+                spare >= AUTO_COMPOSE_MIN_CORES_PER_TRIAL
+                and users >= AUTO_SHARD_MIN_USERS
+            ):
+                shards = _shard_worker_count(users, spare, num_shards)
+                if shards >= 2:
+                    # Composition: pooled trials, each sharding its users
+                    # over the cores its siblings leave idle.
+                    return ExecutionPlan(
+                        execution="auto",
+                        layout="pool+shard",
+                        trial_batch=False,
+                        parallel=True,
+                        max_workers=workers,
+                        num_shards=shards,
+                        shard_parallel=True,
+                        cpu_count=cores,
+                    )
+            return ExecutionPlan(
+                execution="auto",
+                layout="pool",
+                trial_batch=False,
+                parallel=True,
+                max_workers=workers,
+                num_shards=1,
+                shard_parallel=False,
+                cpu_count=cores,
+            )
+        # One core, several trials: the lockstep tensor engine amortises
+        # the per-step dispatch — unless checkpointing forbids it, or the
+        # calibration probe says there is no dispatch worth amortising.
+        if checkpointing:
+            return serial_plan("auto")
+        if calibrate:
+            fraction = measure_dispatch_overhead(users)
+            if fraction < AUTO_BATCH_MIN_DISPATCH_FRACTION:
+                return serial_plan("auto", calibrated=True)
+            return ExecutionPlan(
+                execution="auto",
+                layout="batch",
+                trial_batch=True,
+                parallel=False,
+                max_workers=None,
+                num_shards=1,
+                shard_parallel=False,
+                cpu_count=cores,
+                calibrated=True,
+            )
+        return ExecutionPlan(
+            execution="auto",
+            layout="batch",
+            trial_batch=True,
+            parallel=False,
+            max_workers=None,
+            num_shards=1,
+            shard_parallel=False,
+            cpu_count=cores,
+        )
+    # Single trial: shard it across cores when the population is big
+    # enough to pay the pool's per-step round-trip, else stay serial.
+    if cores > 1 and steps > 0 and users >= AUTO_SHARD_MIN_USERS:
+        shards = _shard_worker_count(users, cores, num_shards)
+        if shards >= 2:
+            return ExecutionPlan(
+                execution="auto",
+                layout="shard",
+                trial_batch=False,
+                parallel=False,
+                max_workers=None,
+                num_shards=shards,
+                shard_parallel=True,
+                cpu_count=cores,
+            )
+    return serial_plan("auto")

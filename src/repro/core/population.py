@@ -27,7 +27,7 @@ systems matching the abstract user model of Section VI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Protocol, Sequence, runtime_checkable
+from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -175,6 +175,18 @@ class CreditPopulation:
     def shard_plan(self) -> ShardPlan:
         """Return the canonical shard partition of this population."""
         return self._plan
+
+    @property
+    def feature_channels(self) -> Tuple[str, ...]:
+        """Return the names of the public-feature arrays ``begin_step`` emits.
+
+        Declared statically so the pooled shard path can size its
+        shared-memory arena (one float64 channel row per name) before the
+        first step runs; must match the keys of every ``begin_step``
+        return.  Populations without this property fall back to the
+        pickled per-step transport.
+        """
+        return ("income",)
 
     @property
     def races(self) -> np.ndarray:

@@ -40,6 +40,7 @@ __all__ = [
     "NUM_CANONICAL_SHARDS",
     "ShardPlan",
     "PopulationShard",
+    "max_worker_shards",
     "shard_population",
 ]
 
@@ -227,6 +228,19 @@ class PopulationShard:
     def num_users(self) -> int:
         """Return the number of users in the shard."""
         return self.hi - self.lo
+
+
+def max_worker_shards(num_users: int) -> int:
+    """Return the most shard workers a population of ``num_users`` can use.
+
+    The canonical partition caps useful parallelism at
+    :data:`NUM_CANONICAL_SHARDS` (extra workers would own no shards — see
+    :meth:`ShardPlan.worker_ranges`) and at one user per shard.  The
+    execution planner consults this ceiling instead of re-deriving it.
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    return min(NUM_CANONICAL_SHARDS, num_users)
 
 
 def shard_population(population, num_workers: int) -> List[PopulationShard]:

@@ -26,7 +26,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-__all__ = ["SupervisorPolicy", "WorkerPoolFailure", "kill_executor"]
+__all__ = [
+    "SupervisorPolicy",
+    "WorkerPoolFailure",
+    "kill_executor",
+    "release_resources",
+]
 
 
 class WorkerPoolFailure(RuntimeError):
@@ -111,3 +116,27 @@ def kill_executor(executor) -> None:
             except Exception:  # pragma: no cover - already-dead process races
                 pass
     executor.shutdown(wait=False, cancel_futures=True)
+
+
+def release_resources(*resources) -> None:
+    """Best-effort ``destroy()``/``close()`` of pool-owned resources.
+
+    Supervised teardown must release OS-level resources (shared-memory
+    arenas, open stores) on *every* exit route — including ones reached
+    because something else is already failing — so release failures are
+    swallowed: cleanup can never mask the original error.  ``None``
+    entries are skipped, letting callers pass optional resources straight
+    through.
+    """
+    for resource in resources:
+        if resource is None:
+            continue
+        closer = getattr(resource, "destroy", None) or getattr(
+            resource, "close", None
+        )
+        if closer is None:
+            continue
+        try:
+            closer()
+        except Exception:  # pragma: no cover - cleanup must not mask errors
+            pass

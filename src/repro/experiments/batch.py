@@ -55,7 +55,13 @@ and many trials (it removes per-trial dispatch without spawning
 processes); trial-level pooling (``parallel=True``) wins when real cores
 exist and trials are few and heavy; intra-trial sharding
 (``shard_parallel``) targets single giant trials.  ``BENCH_core.json``
-(entry ``trial-batched-engine``) records the measured crossover.
+(entry ``trial-batched-engine``) records the measured crossover.  That
+rule of thumb is now code: ``execution="auto"``
+(:func:`repro.core.planner.plan_execution`) selects this engine exactly
+in its winning regime — several trials on a single core, no
+checkpointing (the lockstep walk has no per-trial boundary to snapshot,
+which is why ``execution="batch"`` with checkpoint knobs is rejected at
+config time).
 """
 
 from __future__ import annotations

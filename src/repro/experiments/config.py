@@ -12,10 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Tuple
 
+from repro.core.planner import validate_execution_settings
 from repro.data.census import Race, paper_race_mix
 from repro.utils.validation import require_positive
 
-__all__ = ["CaseStudyConfig", "validate_checkpoint_settings"]
+__all__ = [
+    "CaseStudyConfig",
+    "validate_checkpoint_settings",
+    "validate_execution_settings",
+]
 
 
 def validate_checkpoint_settings(
@@ -159,6 +164,20 @@ class CaseStudyConfig:
         Snapshots carry a configuration fingerprint; resuming with a
         different configuration fails with an actionable error instead of
         silently mixing runs.
+    execution:
+        One knob in front of the three execution layouts, resolved by the
+        planner (:func:`~repro.core.planner.plan_execution`):
+        ``"serial"``, ``"batch"`` (→ ``trial_batch``), ``"pool"``
+        (→ ``parallel``), ``"shard"`` (→ ``num_shards`` +
+        ``shard_parallel``), or ``"auto"``, which inspects
+        (``cpu_count``, trials, users, steps, checkpoint knobs) and may
+        *compose* layouts (pooled trials × sharded users).  Every layout
+        is bit-identical, so this is purely a performance choice — and it
+        is excluded from checkpoint fingerprints, so a run checkpointed
+        under one plan resumes under another (e.g. ``"auto"`` on a host
+        with a different core count).  Mutually exclusive with the legacy
+        ``parallel``/``trial_batch``/``shard_parallel`` switches;
+        ``None`` (default) keeps the legacy knobs in charge.
     """
 
     num_users: int = 1000
@@ -185,6 +204,7 @@ class CaseStudyConfig:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 0
     resume: bool = False
+    execution: str | None = None
 
     def __post_init__(self) -> None:
         if self.history_mode not in ("full", "aggregate"):
@@ -209,6 +229,14 @@ class CaseStudyConfig:
             self.checkpoint_every,
             self.resume,
             trial_batch=self.trial_batch,
+        )
+        validate_execution_settings(
+            self.execution,
+            parallel=self.parallel,
+            trial_batch=self.trial_batch,
+            shard_parallel=self.shard_parallel,
+            checkpoint_every=self.checkpoint_every,
+            resume=self.resume,
         )
 
     @property

@@ -64,6 +64,7 @@ from repro.core.filters import DefaultRateFilter
 from repro.core.history import FullHistoryRequiredError, SimulationHistory
 from repro.core.loop import ClosedLoop
 from repro.core.metrics import group_approval_series, group_average_series
+from repro.core.planner import plan_execution
 from repro.core.streaming import AggregateHistory
 from repro.core.population import CreditPopulation
 from repro.core.supervision import SupervisorPolicy, WorkerPoolFailure, kill_executor
@@ -372,6 +373,19 @@ def _trial_fingerprint(
     )
 
 
+def _shard_hint(num_shards: int | None, config: CaseStudyConfig) -> int | None:
+    """Resolve the planner's shard-count hint from override and config.
+
+    An explicit override wins; otherwise a non-default ``config.num_shards``
+    is the hint (the CLI lands ``--shards`` there), and the default ``1``
+    means "unset" — the planner then sizes the shard pool from the core
+    count instead of being pinned to a single worker.
+    """
+    if num_shards is not None:
+        return num_shards
+    return config.num_shards if config.num_shards != 1 else None
+
+
 def run_trial(
     config: CaseStudyConfig,
     trial_index: int = 0,
@@ -387,6 +401,7 @@ def run_trial(
     checkpoint_every: int | None = None,
     resume: bool | None = None,
     supervisor: SupervisorPolicy | None = None,
+    execution: str | None = None,
 ) -> TrialResult:
     """Run one trial of the case study.
 
@@ -434,6 +449,19 @@ def run_trial(
         and raises are retried from the last checkpoint boundary with
         exponential backoff, then degrade to the bit-identical serial
         path.
+    execution:
+        Planner knob override (``None`` defers to ``config.execution``):
+        resolves this single trial's layout via
+        :func:`~repro.core.planner.plan_execution` with ``trials=1``
+        (``"auto"`` picks sharded execution for large populations on
+        multi-core hosts, serial otherwise; ``"pool"`` has nothing to
+        pool over one trial and resolves to serial).  Mutually exclusive
+        with the ``shard_parallel`` override; ``num_shards`` is accepted
+        as a worker-count hint.  ``"batch"`` batches trials *across* an
+        experiment and is rejected here — use :func:`run_experiment`.
+        Every plan is bit-identical, and the plan is excluded from the
+        checkpoint fingerprint, so resuming under a different plan (or
+        ``cpu_count``) replays the same trajectory.
     """
     mode = config.history_mode if history_mode is None else history_mode
     if mode not in ("full", "aggregate"):
@@ -446,6 +474,34 @@ def run_trial(
     every = config.checkpoint_every if checkpoint_every is None else checkpoint_every
     do_resume = config.resume if resume is None else bool(resume)
     validate_checkpoint_settings(ckpt_dir, every, do_resume)
+    exec_mode = config.execution if execution is None else execution
+    if exec_mode is not None:
+        if shard_parallel is not None:
+            raise ValueError(
+                "the execution knob replaces the legacy layout switches: "
+                "drop the shard_parallel override when setting execution"
+            )
+        if exec_mode == "batch":
+            raise ValueError(
+                'execution="batch" runs an experiment\'s trials in lockstep; '
+                "run_trial runs a single trial — use run_experiment, or "
+                "another execution mode"
+            )
+        plan = plan_execution(
+            exec_mode,
+            trials=1,
+            users=config.num_users,
+            steps=config.num_steps,
+            history_mode=mode,
+            retrain_mode=(
+                config.retrain_mode if retrain_mode is None else retrain_mode
+            ),
+            checkpoint_every=every,
+            resume=do_resume,
+            num_shards=_shard_hint(num_shards, config),
+        )
+        shards = plan.num_shards
+        pooled = plan.shard_parallel
     if retrain_mode is not None or warm_start is not None:
         # The policy factory reads these off the config, so overrides must
         # land there before the factory runs.
@@ -707,6 +763,7 @@ def run_experiment(
     checkpoint_every: int | None = None,
     resume: bool | None = None,
     supervisor: SupervisorPolicy | None = None,
+    execution: str | None = None,
 ) -> ExperimentResult:
     """Run all trials of the case study and return the aggregate result.
 
@@ -769,19 +826,69 @@ def run_experiment(
         re-run on a rebuilt pool with exponential backoff, and work past
         the retry budget degrades to the bit-identical serial path with a
         :class:`RuntimeWarning` instead of crashing the experiment.
+    execution:
+        Planner knob override (``None`` defers to ``config.execution``):
+        one request — ``"auto"``, ``"serial"``, ``"batch"``, ``"pool"``
+        or ``"shard"`` — resolved into the concrete layout switches by
+        :func:`~repro.core.planner.plan_execution` from (``cpu_count``,
+        trials, users, steps, history/retrain modes, checkpoint knobs).
+        ``"auto"`` may compose layouts (pooled trials × sharded users on
+        hosts with spare cores).  Mutually exclusive with the legacy
+        ``parallel``/``trial_batch``/``shard_parallel`` overrides;
+        ``max_workers`` and ``num_shards`` are accepted as planner
+        hints.  Every plan is bit-identical to serial, so this knob can
+        never change a result — only its wall clock.
     """
-    use_parallel = config.parallel if parallel is None else bool(parallel)
-    use_batch = config.trial_batch if trial_batch is None else bool(trial_batch)
     workers = config.max_workers if max_workers is None else max_workers
     if workers is not None and workers <= 0:
         raise ValueError("max_workers must be positive when given")
     ckpt_dir = config.checkpoint_dir if checkpoint_dir is None else checkpoint_dir
     every = config.checkpoint_every if checkpoint_every is None else checkpoint_every
     do_resume = config.resume if resume is None else bool(resume)
+    resolved_mode = config.history_mode if history_mode is None else history_mode
+    exec_mode = config.execution if execution is None else execution
+    if exec_mode is not None:
+        for name, value in (
+            ("parallel", parallel),
+            ("trial_batch", trial_batch),
+            ("shard_parallel", shard_parallel),
+        ):
+            if value is not None:
+                raise ValueError(
+                    "the execution knob replaces the legacy layout switches: "
+                    f"drop the {name} override when setting execution "
+                    f"(got execution={exec_mode!r})"
+                )
+        plan = plan_execution(
+            exec_mode,
+            trials=config.num_trials,
+            users=config.num_users,
+            steps=config.num_steps,
+            history_mode=resolved_mode,
+            retrain_mode=(
+                config.retrain_mode if retrain_mode is None else retrain_mode
+            ),
+            checkpoint_every=every,
+            resume=do_resume,
+            max_workers=workers,
+            num_shards=_shard_hint(num_shards, config),
+        )
+        # The plan is fully resolved here; strip the knob off the config so
+        # the trial workers (and the batched engine) execute the concrete
+        # switches below instead of re-planning on their own host view.
+        config = replace(config, execution=None)
+        use_parallel = plan.parallel
+        use_batch = plan.trial_batch
+        if plan.parallel:
+            workers = plan.max_workers
+        num_shards = plan.num_shards
+        shard_parallel = plan.shard_parallel
+    else:
+        use_parallel = config.parallel if parallel is None else bool(parallel)
+        use_batch = config.trial_batch if trial_batch is None else bool(trial_batch)
     validate_checkpoint_settings(ckpt_dir, every, do_resume, trial_batch=use_batch)
     worker_count = min(config.num_trials, workers or os.cpu_count() or 1)
     moments = GroupSeriesMoments()
-    resolved_mode = config.history_mode if history_mode is None else history_mode
     if use_batch:
         trials = _run_trials_batched(
             config,
@@ -1093,7 +1200,14 @@ def _try_run_trials_in_processes(
                     stacklevel=3,
                 )
                 policy.sleep_before_retry(pool_failures)
+        if executor is not None:
+            # Clean exit: every worker is idle, so waiting is instant and
+            # lets the pool's management thread close its wakeup pipe
+            # before the interpreter's atexit hook races it.
+            executor.shutdown(wait=True, cancel_futures=True)
+            executor = None
     finally:
         if executor is not None:
+            # Exceptional exit: workers may be hung, so don't wait on them.
             executor.shutdown(wait=False, cancel_futures=True)
     return results

@@ -1,0 +1,164 @@
+"""Unit tests of the execution planner's heuristics and surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import planner
+from repro.core.planner import (
+    EXECUTION_MODES,
+    ExecutionPlan,
+    measure_dispatch_overhead,
+    plan_execution,
+    validate_execution_settings,
+)
+
+
+def _plan(execution, **overrides):
+    inputs = dict(trials=5, users=1000, steps=19, cpu_count=8)
+    inputs.update(overrides)
+    return plan_execution(execution, **inputs)
+
+
+class TestExplicitModes:
+    def test_serial_is_serial(self):
+        plan = _plan("serial")
+        assert plan.layout == "serial"
+        assert not (plan.parallel or plan.trial_batch or plan.shard_parallel)
+
+    def test_batch_routes_to_the_tensor_engine(self):
+        plan = _plan("batch")
+        assert plan.layout == "batch"
+        assert plan.trial_batch
+
+    def test_pool_sizes_workers_from_cores_and_trials(self):
+        assert _plan("pool").max_workers == 5  # min(5 trials, 8 cores)
+        assert _plan("pool", cpu_count=2).max_workers == 2
+        assert _plan("pool", max_workers=3).max_workers == 3
+
+    def test_pool_with_one_trial_degrades_to_serial(self):
+        plan = _plan("pool", trials=1)
+        assert plan.layout == "serial"
+        assert plan.execution == "pool"  # the request is preserved
+
+    def test_shard_caps_at_the_canonical_shard_count(self):
+        plan = _plan("shard", trials=1, users=100_000)
+        assert plan.layout == "shard"
+        assert plan.num_shards == 8  # NUM_CANONICAL_SHARDS
+        assert plan.shard_parallel
+
+    def test_shard_honours_an_explicit_shard_hint(self):
+        assert _plan("shard", num_shards=4).num_shards == 4
+
+    def test_shard_with_a_tiny_population_degrades_to_serial(self):
+        assert _plan("shard", users=1).layout == "serial"
+
+
+class TestAutoHeuristics:
+    def test_one_core_many_trials_batches(self):
+        plan = _plan("auto", cpu_count=1)
+        assert plan.layout == "batch"
+
+    def test_one_core_with_checkpointing_stays_serial(self):
+        plan = _plan("auto", cpu_count=1, checkpoint_every=3)
+        assert plan.layout == "serial"
+        assert not plan.trial_batch
+
+    def test_many_cores_many_trials_pools(self):
+        plan = _plan("auto")
+        assert plan.layout == "pool"
+        assert plan.max_workers == 5
+
+    def test_single_large_trial_shards(self):
+        plan = _plan("auto", trials=1, users=100_000)
+        assert plan.layout == "shard"
+        assert plan.num_shards == 8
+
+    def test_single_small_trial_stays_serial(self):
+        assert _plan("auto", trials=1, users=200).layout == "serial"
+
+    def test_spare_cores_compose_pool_with_shards(self):
+        plan = _plan("auto", trials=2, users=100_000, cpu_count=16)
+        assert plan.layout == "pool+shard"
+        assert plan.max_workers == 2
+        assert plan.shard_parallel and plan.num_shards >= 2
+
+    def test_no_spare_cores_means_no_composition(self):
+        plan = _plan("auto", trials=8, users=100_000, cpu_count=8)
+        assert plan.layout == "pool"
+
+    def test_defaults_to_the_detected_core_count(self, monkeypatch):
+        monkeypatch.setattr(planner, "_detect_cpu_count", lambda: 3)
+        plan = plan_execution("auto", trials=5, users=100, steps=19)
+        assert plan.cpu_count == 3
+
+
+class TestCalibration:
+    def test_negligible_dispatch_keeps_the_serial_loop(self, monkeypatch):
+        monkeypatch.setattr(planner, "measure_dispatch_overhead", lambda users: 0.0)
+        plan = _plan("auto", cpu_count=1, calibrate=True)
+        assert plan.layout == "serial"
+        assert plan.calibrated
+
+    def test_heavy_dispatch_confirms_the_batch_choice(self, monkeypatch):
+        monkeypatch.setattr(planner, "measure_dispatch_overhead", lambda users: 0.5)
+        plan = _plan("auto", cpu_count=1, calibrate=True)
+        assert plan.layout == "batch"
+        assert plan.calibrated
+
+    def test_probe_returns_a_fraction(self):
+        fraction = measure_dispatch_overhead(500, probes=1)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestPlanSurface:
+    def test_modes_constant(self):
+        assert EXECUTION_MODES == ("auto", "serial", "batch", "pool", "shard")
+
+    def test_describe_names_the_layout(self):
+        assert "pool" in _plan("pool").describe()
+        assert "in-process" in _plan("serial").describe()
+
+    def test_plan_rejects_batch_with_pools(self):
+        with pytest.raises(ValueError, match="batched plan"):
+            ExecutionPlan(
+                execution="batch",
+                layout="batch",
+                trial_batch=True,
+                parallel=True,
+                max_workers=2,
+                num_shards=1,
+                shard_parallel=False,
+                cpu_count=4,
+            )
+
+    def test_plan_rejects_single_shard_pools(self):
+        with pytest.raises(ValueError, match="two worker shards"):
+            ExecutionPlan(
+                execution="shard",
+                layout="shard",
+                trial_batch=False,
+                parallel=False,
+                max_workers=None,
+                num_shards=1,
+                shard_parallel=True,
+                cpu_count=4,
+            )
+
+    def test_validate_settings_accepts_none_with_legacy_switches(self):
+        # None means "legacy knobs in charge" — they may be set freely.
+        validate_execution_settings(None, parallel=True, trial_batch=True)
+
+    def test_bad_inputs_are_rejected(self):
+        with pytest.raises(ValueError, match="users"):
+            plan_execution("auto", trials=1, users=0, steps=5)
+        with pytest.raises(ValueError, match="steps"):
+            plan_execution("auto", trials=1, users=10, steps=-1)
+        with pytest.raises(ValueError, match="history_mode"):
+            plan_execution("auto", trials=1, users=10, steps=5, history_mode="x")
+        with pytest.raises(ValueError, match="retrain_mode"):
+            plan_execution("auto", trials=1, users=10, steps=5, retrain_mode="x")
+        with pytest.raises(ValueError, match="cpu_count"):
+            plan_execution("auto", trials=1, users=10, steps=5, cpu_count=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            plan_execution("auto", trials=1, users=10, steps=5, max_workers=0)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the experiment-level equivalence suites.
+
+The golden reference run — the serial 200-user, 2-trial experiment whose
+digests are pinned in :mod:`tests.experiments.harness` — is consumed by
+several suites (engine, streaming, execution).  Hoisting it to a
+session-scoped fixture computes it once per test session instead of once
+per module.  The fixtures are named ``golden_*`` so they never shadow the
+repo-wide ``small_config`` (80 users) from ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+from tests.experiments import harness
+
+
+@pytest.fixture(scope="session")
+def golden_config():
+    """The configuration the golden digests were captured from."""
+    return harness.golden_config()
+
+
+@pytest.fixture(scope="session")
+def golden_serial_result(golden_config):
+    """The serial reference experiment every layout must reproduce."""
+    return run_experiment(golden_config)

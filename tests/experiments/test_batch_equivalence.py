@@ -7,8 +7,8 @@ contract is that every batched trial row is **bit-identical** to its serial
 
 * at 200 users the batched experiment must reproduce the same golden
   SHA-256 digests as the serial engine
-  (:data:`tests.experiments.test_engine_equivalence.ENGINE_GOLDEN` — one
-  set of hashes pinning four engine generations);
+  (:data:`tests.experiments.harness.ENGINE_GOLDEN` — one set of hashes
+  pinning four engine generations);
 * at paper scale (1000 users, 5 trials) batched and serial runs must agree
   array-for-array across every ``history_mode`` × ``retrain_mode`` cell;
 * the fused fast paths (stacked decide/retrain for the default stack) and
@@ -28,12 +28,17 @@ from repro.data.census import Race
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.runner import run_experiment, run_trial
 
-from tests.experiments.test_engine_equivalence import ENGINE_GOLDEN, digest
+from tests.experiments.harness import (
+    ENGINE_GOLDEN,
+    assert_full_trials_identical as _assert_full_trials_identical,
+    assert_group_series_identical as _assert_group_series_identical,
+    experiment_digests,
+)
 
 
 @pytest.fixture(scope="module")
-def small_config() -> CaseStudyConfig:
-    return CaseStudyConfig().scaled(num_users=200, num_trials=2)
+def small_config(golden_config) -> CaseStudyConfig:
+    return golden_config
 
 
 @pytest.fixture(scope="module")
@@ -41,87 +46,12 @@ def paper_config() -> CaseStudyConfig:
     return CaseStudyConfig()  # 1000 users, 5 trials — the paper's scale
 
 
-def _assert_full_trials_identical(serial_trial, batched_trial):
-    serial_history, batched_history = serial_trial.history, batched_trial.history
-    assert np.array_equal(
-        serial_history.decisions_matrix(), batched_history.decisions_matrix()
-    )
-    assert np.array_equal(
-        serial_history.actions_matrix(), batched_history.actions_matrix()
-    )
-    assert np.array_equal(
-        serial_history.public_feature_matrix("income"),
-        batched_history.public_feature_matrix("income"),
-    )
-    assert np.array_equal(
-        serial_trial.user_default_rates, batched_trial.user_default_rates
-    )
-    assert np.array_equal(
-        serial_history.observation_series("user_default_rates"),
-        batched_history.observation_series("user_default_rates"),
-    )
-    assert np.array_equal(
-        serial_history.observation_series("portfolio_rate"),
-        batched_history.observation_series("portfolio_rate"),
-    )
-    assert np.array_equal(
-        serial_history.running_action_averages(),
-        batched_history.running_action_averages(),
-    )
-    assert np.array_equal(
-        serial_history.approval_rates(), batched_history.approval_rates()
-    )
-    assert np.array_equal(serial_trial.races, batched_trial.races)
-
-
-def _assert_group_series_identical(serial_trial, batched_trial):
-    for race in Race:
-        assert np.array_equal(
-            serial_trial.group_default_rates[race],
-            batched_trial.group_default_rates[race],
-        )
-        assert np.array_equal(
-            serial_trial.group_action_averages()[race],
-            batched_trial.group_action_averages()[race],
-        )
-        assert np.array_equal(
-            serial_trial.group_approval_series()[race],
-            batched_trial.group_approval_series()[race],
-        )
-    assert np.array_equal(
-        serial_trial.approval_rate_series(), batched_trial.approval_rate_series()
-    )
-
-
 class TestBatchedEngineGoldens:
     """The batched engine reproduces the pinned golden stream exactly."""
 
     def test_batched_experiment_matches_engine_goldens(self, small_config):
         result = run_experiment(small_config, trial_batch=True)
-        observed = {}
-        for index, trial in enumerate(result.trials):
-            history = trial.history
-            observed[f"trial{index}_decisions"] = digest(history.decisions_matrix())
-            observed[f"trial{index}_actions"] = digest(history.actions_matrix())
-            observed[f"trial{index}_income"] = digest(
-                history.public_feature_matrix("income")
-            )
-            observed[f"trial{index}_user_rates"] = digest(trial.user_default_rates)
-            observed[f"trial{index}_obs_rates"] = digest(
-                history.observation_series("user_default_rates")
-            )
-            observed[f"trial{index}_portfolio"] = digest(
-                history.observation_series("portfolio_rate")
-            )
-            observed[f"trial{index}_running_actions"] = digest(
-                history.running_action_averages()
-            )
-            observed[f"trial{index}_approvals"] = digest(history.approval_rates())
-            for race in Race:
-                observed[f"trial{index}_group_{race.name}"] = digest(
-                    trial.group_default_rates[race]
-                )
-        assert observed == ENGINE_GOLDEN
+        assert experiment_digests(result) == ENGINE_GOLDEN
 
     def test_batched_incremental_metrics_match_recompute(self, small_config):
         # The precomputed-statistics ingest rows must satisfy the history's

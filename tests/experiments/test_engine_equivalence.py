@@ -1,6 +1,6 @@
 """Equivalence suite: the pinned random stream of the sharded engine.
 
-The golden SHA-256 digests below pin
+The golden SHA-256 digests pin
 ``run_experiment(CaseStudyConfig().scaled(num_users=200, num_trials=2))``
 bit for bit.  They have been re-captured exactly once since the seed
 commit: the intra-trial sharding refactor replaced the single trial-wide
@@ -13,98 +13,48 @@ canonical shard, step)``: bit-identical for any worker count
 or not — which ``test_shard_equivalence.py`` asserts against these same
 digests.
 
-Three engine generations are pinned to this one set of hashes: the sharded
-engine here, the streaming-aggregation mode
-(``test_streaming_equivalence.py``) and every pooled execution layout.
-The parallel trial runner must also stay bit-identical to the serial path.
+The registry itself, the digest helpers and the differential assertions
+live in :mod:`tests.experiments.harness` — one source of truth shared by
+every equivalence suite (engine, streaming, shard, retrain, batch, and
+the planner's ``test_execution_equivalence``).  ``ENGINE_GOLDEN`` and
+``digest`` are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
-
-import hashlib
 
 import numpy as np
 import pytest
 
 from repro.core.ai_system import CreditScoringSystem
 from repro.credit.lender import Lender
-from repro.data.census import Race
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.runner import run_experiment, run_trial
 
+from tests.experiments.harness import (
+    ENGINE_GOLDEN,
+    assert_experiments_identical,
+    digest,
+    experiment_digests,
+)
 
-def digest(array: np.ndarray) -> str:
-    """Return a short SHA-256 digest of an array's exact float contents."""
-    data = np.ascontiguousarray(np.asarray(array, dtype=float))
-    return hashlib.sha256(data.tobytes()).hexdigest()[:16]
-
-
-#: Captured from the sharded engine (see module docstring; the pre-sharding
-#: goldens from seed commit 445c387 were retired with the stream break).
-ENGINE_GOLDEN = {
-    "trial0_decisions": "b8837abc827e91fd",
-    "trial0_actions": "dbd00c78385e948a",
-    "trial0_income": "d0093a48aa12b38d",
-    "trial0_user_rates": "6b17e39189558b00",
-    "trial0_obs_rates": "6b17e39189558b00",
-    "trial0_portfolio": "112f7a712fa7a645",
-    "trial0_running_actions": "b3e05cb2e044fcef",
-    "trial0_approvals": "2d3ab12c55b9dd43",
-    "trial0_group_BLACK": "2c7da37edcc62af4",
-    "trial0_group_WHITE": "99ae0f9adbeabd21",
-    "trial0_group_ASIAN": "85ada57e1f601e96",
-    "trial1_decisions": "6750e1ef53c96a5c",
-    "trial1_actions": "a479ea4044abc6ae",
-    "trial1_income": "ba6ccea6352ea9ed",
-    "trial1_user_rates": "67d1d1b8af953971",
-    "trial1_obs_rates": "67d1d1b8af953971",
-    "trial1_portfolio": "2121aaf952a725b1",
-    "trial1_running_actions": "2ea7ffa96a1cc626",
-    "trial1_approvals": "d7072999a25e09b7",
-    "trial1_group_BLACK": "bd7adfa42dbd2a87",
-    "trial1_group_WHITE": "b24cec3dfffb243d",
-    "trial1_group_ASIAN": "4d15515f88a65170",
-}
+__all__ = ["ENGINE_GOLDEN", "digest"]
 
 
 @pytest.fixture(scope="module")
-def small_config() -> CaseStudyConfig:
-    return CaseStudyConfig().scaled(num_users=200, num_trials=2)
+def small_config(golden_config) -> CaseStudyConfig:
+    return golden_config
 
 
 @pytest.fixture(scope="module")
-def serial_result(small_config):
-    return run_experiment(small_config)
+def serial_result(golden_serial_result):
+    return golden_serial_result
 
 
 class TestEngineBitIdentity:
     """The engine reproduces the pinned golden stream exactly."""
 
     def test_experiment_matches_engine_goldens(self, serial_result):
-        observed = {}
-        for index, trial in enumerate(serial_result.trials):
-            history = trial.history
-            observed[f"trial{index}_decisions"] = digest(history.decisions_matrix())
-            observed[f"trial{index}_actions"] = digest(history.actions_matrix())
-            observed[f"trial{index}_income"] = digest(
-                history.public_feature_matrix("income")
-            )
-            observed[f"trial{index}_user_rates"] = digest(trial.user_default_rates)
-            observed[f"trial{index}_obs_rates"] = digest(
-                history.observation_series("user_default_rates")
-            )
-            observed[f"trial{index}_portfolio"] = digest(
-                history.observation_series("portfolio_rate")
-            )
-            observed[f"trial{index}_running_actions"] = digest(
-                history.running_action_averages()
-            )
-            observed[f"trial{index}_approvals"] = digest(history.approval_rates())
-            for race in Race:
-                observed[f"trial{index}_group_{race.name}"] = digest(
-                    trial.group_default_rates[race]
-                )
-        assert observed == ENGINE_GOLDEN
+        assert experiment_digests(serial_result) == ENGINE_GOLDEN
 
     def test_incremental_metrics_match_recompute_cross_check(self, serial_result):
         for trial in serial_result.trials:
@@ -125,30 +75,9 @@ class TestEngineBitIdentity:
 class TestParallelBitIdentity:
     """Parallel trials ride independent derived-seed streams; scheduling is irrelevant."""
 
-    def _assert_experiments_identical(self, left, right):
-        assert len(left.trials) == len(right.trials)
-        for trial_left, trial_right in zip(left.trials, right.trials):
-            assert np.array_equal(
-                trial_left.history.decisions_matrix(),
-                trial_right.history.decisions_matrix(),
-            )
-            assert np.array_equal(
-                trial_left.history.actions_matrix(),
-                trial_right.history.actions_matrix(),
-            )
-            assert np.array_equal(
-                trial_left.user_default_rates, trial_right.user_default_rates
-            )
-            assert np.array_equal(trial_left.races, trial_right.races)
-            for race in Race:
-                assert np.array_equal(
-                    trial_left.group_default_rates[race],
-                    trial_right.group_default_rates[race],
-                )
-
     def test_process_parallel_matches_serial(self, small_config, serial_result):
         parallel = run_experiment(small_config, parallel=True, max_workers=2)
-        self._assert_experiments_identical(serial_result, parallel)
+        assert_experiments_identical(serial_result, parallel)
 
     def test_non_picklable_factory_falls_back_to_serial(self, small_config, serial_result):
         # A lambda policy factory cannot be pickled, forcing the serial fallback.
@@ -159,10 +88,10 @@ class TestParallelBitIdentity:
         parallel = run_experiment(
             small_config, policy_factory=factory, parallel=True, max_workers=2
         )
-        self._assert_experiments_identical(serial, parallel)
+        assert_experiments_identical(serial, parallel)
         # The default factory builds the identical system, so the lambda run
         # must also match the golden serial result.
-        self._assert_experiments_identical(serial_result, parallel)
+        assert_experiments_identical(serial_result, parallel)
 
     def test_config_knob_enables_parallelism(self, small_config, serial_result):
         config = CaseStudyConfig(

@@ -497,6 +497,169 @@ class TestSupervisedTrialPool:
         assert_experiments_identical(golden_experiment, resumed)
 
 
+class TestSharedMemoryHygiene:
+    """No ``/dev/shm`` segment survives any pool exit route.
+
+    The pooled shard path now moves its per-step payloads through one
+    shared-memory arena per pool (:mod:`repro.core.shardmem`).  The
+    orchestrator owns the segment and must unlink it on *every* exit:
+    clean shutdown, worker kill/hang followed by a pool rebuild, and the
+    exhausted-budget serial fallback.  ``live_segments()`` is the leak
+    oracle; each scenario asserts the set of segments is unchanged.
+    """
+
+    def _pooled(self, ft_config, **kwargs):
+        return run_trial(
+            ft_config,
+            trial_index=0,
+            num_shards=2,
+            shard_parallel=True,
+            supervisor=FAST_SUPERVISOR,
+            **kwargs,
+        )
+
+    def test_clean_pooled_run_leaves_no_segments(self, ft_config, golden_trial):
+        from repro.core.shardmem import live_segments
+
+        before = live_segments()
+        recovered = self._pooled(ft_config)
+        assert_trials_identical(golden_trial, recovered)
+        assert live_segments() == before
+
+    @pytest.mark.parametrize(
+        "kind,extra",
+        [("kill", {}), ("raise", {}), ("hang", {"delay": 3600.0})],
+        ids=["kill", "raise", "hang"],
+    )
+    def test_rebuild_after_worker_failure_leaves_no_segments(
+        self, ft_config, golden_trial, tmp_path, kind, extra
+    ):
+        from repro.core.shardmem import live_segments
+
+        before = live_segments()
+        os.environ.update(
+            plan_environment(
+                [
+                    FaultSpec(
+                        site="shard_worker_begin",
+                        kind=kind,
+                        shard=WORKER1_SHARD,
+                        step=5,
+                        **extra,
+                    )
+                ],
+                state_dir=tmp_path,
+            )
+        )
+        with pytest.warns(RuntimeWarning, match="rebuilding the pool"):
+            recovered = self._pooled(ft_config)
+        assert_trials_identical(golden_trial, recovered)
+        assert live_segments() == before
+
+    def test_serial_fallback_leaves_no_segments(
+        self, ft_config, golden_trial, tmp_path
+    ):
+        from repro.core.shardmem import live_segments
+
+        before = live_segments()
+        os.environ.update(
+            plan_environment(
+                [
+                    FaultSpec(
+                        site="shard_worker_respond",
+                        kind="raise",
+                        shard=0,
+                        step=2,
+                        once=False,
+                    )
+                ],
+                state_dir=tmp_path,
+            )
+        )
+        with pytest.warns(RuntimeWarning, match="serial path"):
+            recovered = self._pooled(ft_config)
+        assert_trials_identical(golden_trial, recovered)
+        assert live_segments() == before
+
+    def test_pickle_transport_remains_available_and_identical(
+        self, ft_config, golden_trial
+    ):
+        # The pickled fallback transport stays bit-identical to the arena
+        # path (and is what populations without feature_channels use).
+        from repro.core.shardmem import TransportMeter, set_transport_meter
+
+        meter = TransportMeter()
+        set_transport_meter(meter)
+        try:
+            shared = self._pooled(ft_config)
+        finally:
+            set_transport_meter(None)
+        assert_trials_identical(golden_trial, shared)
+        # The arena moved every per-step payload: nothing was pickled.
+        assert meter.shared_bytes > 0
+        assert meter.pickled_bytes == 0
+
+
+class TestCrossPlanResume:
+    """``execution="auto"`` resumes bit-for-bit under a different plan.
+
+    Plans are excluded from checkpoint fingerprints, so a run interrupted
+    on a 1-core host must resume on an 8-core host (where ``auto`` would
+    pick a different layout) without a fingerprint rejection — and land on
+    the uninterrupted trajectory exactly.
+    """
+
+    def test_auto_resume_across_core_counts(
+        self, ft_config, golden_trial, tmp_path, monkeypatch
+    ):
+        from repro.core import planner
+
+        monkeypatch.setattr(planner, "_detect_cpu_count", lambda: 1)
+        install_plan([FaultSpec(site="loop_step", kind="raise", step=8)])
+        with pytest.raises(FaultInjected):
+            run_trial(
+                ft_config,
+                trial_index=0,
+                execution="auto",
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=3,
+            )
+        clear_plan()
+        # Resume on a "different host": more cores and a lowered shard
+        # threshold, so auto would now plan a sharded layout for a fresh
+        # run — the checkpoint must still be accepted and replayed.
+        monkeypatch.setattr(planner, "_detect_cpu_count", lambda: 8)
+        monkeypatch.setattr(planner, "AUTO_SHARD_MIN_USERS", 32)
+        resumed = run_trial(
+            ft_config,
+            trial_index=0,
+            execution="auto",
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=3,
+            resume=True,
+        )
+        assert_trials_identical(golden_trial, resumed)
+
+    def test_auto_experiment_resume_skips_completed_trials(
+        self, ft_config, golden_experiment, tmp_path, monkeypatch
+    ):
+        from repro.core import planner
+
+        monkeypatch.setattr(planner, "_detect_cpu_count", lambda: 1)
+        first = run_experiment(
+            ft_config, execution="auto", checkpoint_dir=str(tmp_path)
+        )
+        assert_experiments_identical(golden_experiment, first)
+        monkeypatch.setattr(planner, "_detect_cpu_count", lambda: 8)
+        resumed = run_experiment(
+            ft_config,
+            execution="auto",
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert_experiments_identical(golden_experiment, resumed)
+
+
 class TestKnobValidation:
     """Satellite (b): bad knob combinations fail at configuration time."""
 

@@ -36,7 +36,7 @@ import pytest
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.runner import run_trial
 
-from tests.experiments.test_engine_equivalence import ENGINE_GOLDEN, digest
+from tests.experiments.harness import ENGINE_GOLDEN, digest
 
 PAPER_SEEDS = (20240101, 777, 31415)
 

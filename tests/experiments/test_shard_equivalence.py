@@ -26,11 +26,15 @@ import numpy as np
 import pytest
 
 from repro.core.streaming import AggregateHistory
-from repro.data.census import Race
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.runner import run_experiment, run_trial
 
-from tests.experiments.test_engine_equivalence import ENGINE_GOLDEN, digest
+from tests.experiments.harness import (
+    ENGINE_GOLDEN,
+    digest,
+    expected_group_digests,
+    group_digests,
+)
 
 
 def _shard_counts() -> tuple:
@@ -44,31 +48,13 @@ SHARD_COUNTS = _shard_counts()
 
 
 @pytest.fixture(scope="module")
-def small_config() -> CaseStudyConfig:
-    return CaseStudyConfig().scaled(num_users=200, num_trials=2)
+def small_config(golden_config) -> CaseStudyConfig:
+    return golden_config
 
 
 @pytest.fixture(scope="module")
 def reference_trial(small_config):
     return run_trial(small_config, trial_index=0)
-
-
-def _group_digests(trial, index: int = 0) -> dict:
-    observed = {}
-    for race in Race:
-        observed[f"trial{index}_group_{race.name}"] = digest(
-            trial.group_default_rates[race]
-        )
-    observed[f"trial{index}_approvals"] = digest(trial.approval_rate_series())
-    return observed
-
-
-def _expected_group_digests(index: int = 0) -> dict:
-    return {
-        key: value
-        for key, value in ENGINE_GOLDEN.items()
-        if key.startswith(f"trial{index}_group_") or key == f"trial{index}_approvals"
-    }
 
 
 class TestShardCountInvariance:
@@ -85,7 +71,7 @@ class TestShardCountInvariance:
             num_shards=num_shards,
             shard_parallel=shard_parallel,
         )
-        assert _group_digests(trial) == _expected_group_digests()
+        assert group_digests(trial) == expected_group_digests()
         assert digest(trial.user_default_rates) == ENGINE_GOLDEN["trial0_user_rates"]
         assert (
             digest(trial.history.decisions_matrix())
@@ -114,7 +100,7 @@ class TestShardCountInvariance:
             shard_parallel=shard_parallel,
         )
         assert isinstance(trial.history, AggregateHistory)
-        assert _group_digests(trial) == _expected_group_digests()
+        assert group_digests(trial) == expected_group_digests()
         assert (
             digest(trial.history.portfolio_rate_series())
             == ENGINE_GOLDEN["trial0_portfolio"]

@@ -33,12 +33,12 @@ from repro.experiments.fig4_user_adr import fig4_user_adr
 from repro.experiments.fig5_density import fig5_density
 from repro.experiments.runner import run_experiment, run_trial
 
-from tests.experiments.test_engine_equivalence import ENGINE_GOLDEN, digest
+from tests.experiments.harness import expected_group_digests, group_digests
 
 
 @pytest.fixture(scope="module")
-def small_config() -> CaseStudyConfig:
-    return CaseStudyConfig().scaled(num_users=200, num_trials=2)
+def small_config(golden_config) -> CaseStudyConfig:
+    return golden_config
 
 @pytest.fixture(scope="module")
 def paper_config() -> CaseStudyConfig:
@@ -46,8 +46,8 @@ def paper_config() -> CaseStudyConfig:
 
 
 @pytest.fixture(scope="module")
-def full_small(small_config):
-    return run_experiment(small_config)
+def full_small(golden_serial_result):
+    return golden_serial_result
 
 
 @pytest.fixture(scope="module")
@@ -110,22 +110,10 @@ class TestSmallScaleEquivalence:
         pooled execution layout).
         """
         observed = {}
+        expected = {}
         for index, trial in enumerate(aggregate_small.trials):
-            for race in Race:
-                observed[f"trial{index}_group_{race.name}"] = digest(
-                    trial.group_default_rates[race]
-                )
-            observed[f"trial{index}_approvals"] = digest(
-                trial.history.approval_rates()
-            )
-            observed[f"trial{index}_portfolio"] = digest(
-                trial.history.portfolio_rate_series()
-            )
-        expected = {
-            key: value
-            for key, value in ENGINE_GOLDEN.items()
-            if "_group_" in key or key.endswith(("_approvals", "_portfolio"))
-        }
+            observed.update(group_digests(trial, index, portfolio=True))
+            expected.update(expected_group_digests(index, portfolio=True))
         assert observed == expected
 
     def test_aggregate_approvals_match_full_history(self, full_small, aggregate_small):
