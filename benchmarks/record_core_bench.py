@@ -50,6 +50,13 @@ Finally the entry records the checkpoint-overhead timings
 trial with and without ``checkpoint_every=100`` crash-consistent
 snapshotting, plus the snapshot's on-disk size — the fault-tolerance
 budget is < 5% overhead at that cadence.
+
+The entry also records the campaign orchestrator timings
+(``measure_campaign``): a figure-sized 24-job scenario x policy x seed x
+retrain-mode grid swept twice from one content-addressed result cache —
+the cold pass computes every job through the planner-routed job pool, the
+warm pass is a pure cache read (hit rate 1.0) — plus the cache's on-disk
+size and the job-pool core budget.
 """
 
 from __future__ import annotations
@@ -410,6 +417,53 @@ def measure_checkpoint_overhead() -> dict:
     }
 
 
+def measure_campaign() -> dict:
+    """Time a figure-sized campaign sweep cold vs warm (all cache hits).
+
+    A 24-job grid — 2 scenarios x 2 policies x 3 seeds x 2 retrain modes,
+    each job a 2-trial x 400-user x 10-step experiment — is swept twice
+    from the same content-addressed cache: the cold pass computes and
+    publishes every job through the planner-routed job pool, the warm pass
+    is a pure cache read (the key digests only trajectory-defining fields,
+    so every entry hits regardless of execution layout).  The warm/cold
+    ratio is the figure-iteration speedup the campaign orchestrator buys;
+    the acceptance floor (>= 10x, warm hit rate 1.0) is enforced by
+    ``test_bench_campaign_cache``.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignSpec, ResultCache, run_campaign
+
+    spec = CampaignSpec(
+        name="bench",
+        scenarios=("baseline", "recession"),
+        policies=("retraining", "static"),
+        population_sizes=(400,),
+        seeds=(1, 2, 3),
+        retrain_modes=("exact", "compressed"),
+        num_trials=2,
+        start_year=2002,
+        end_year=2011,
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = run_campaign(spec, cache_dir)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_campaign(spec, cache_dir)
+        warm_seconds = time.perf_counter() - start
+        cache_bytes = ResultCache(cache_dir).total_bytes()
+    return {
+        "campaign_jobs": spec.grid_size,
+        "campaign_budget": cold.budget.describe(),
+        "campaign_cold_s": round(cold_seconds, 4),
+        "campaign_warm_s": round(warm_seconds, 4),
+        "campaign_warm_speedup_x": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "campaign_warm_hit_rate": warm.hit_rate,
+        "campaign_cache_kb": round(cache_bytes / 1024, 1),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="columnar-engine", help="entry label")
@@ -446,6 +500,11 @@ def main() -> None:
         help="skip the serial-vs-trial-batched experiment timings",
     )
     parser.add_argument(
+        "--skip-campaign",
+        action="store_true",
+        help="skip the campaign cold-vs-warm cache timings",
+    )
+    parser.add_argument(
         "--skip-checkpoint",
         action="store_true",
         help="skip the checkpoint-overhead timings",
@@ -463,6 +522,8 @@ def main() -> None:
         timings.update(measure_trial_batched())
     if not args.skip_checkpoint:
         timings.update(measure_checkpoint_overhead())
+    if not args.skip_campaign:
+        timings.update(measure_campaign())
     memory: dict = {}
     if not args.skip_memory:
         import mem_probe

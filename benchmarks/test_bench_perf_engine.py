@@ -324,6 +324,51 @@ def test_bench_checkpoint_overhead(monkeypatch):
     assert overhead < 5.0
 
 
+def test_bench_campaign_cache():
+    """A warm campaign sweep must be all cache hits and >= 10x faster.
+
+    CI scale: an 8-job grid (2 policies x 2 seeds x 2 retrain modes, each
+    job 2 trials x 150 users x 5 steps) swept twice from the same
+    content-addressed cache.  The cold pass computes and publishes every
+    job; the warm pass never simulates — it is bounded by sha256 hashing
+    plus checkpoint-envelope reads, so the 10x floor holds with huge
+    margin (typically 50-500x) and regressions here mean the cache key or
+    the read path broke, not that the host is slow.  Bit-identity of
+    cached vs fresh series is pinned separately in
+    ``tests/campaign/test_campaign_cache.py``; the full-scale 24-job
+    numbers are recorded in ``BENCH_core.json`` under
+    ``campaign-orchestrator``.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="bench",
+        policies=("retraining", "static"),
+        population_sizes=(150,),
+        seeds=(1, 2),
+        retrain_modes=("exact", "compressed"),
+        num_trials=2,
+        start_year=2002,
+        end_year=2006,
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_seconds = _timed(lambda: run_campaign(spec, cache_dir))
+        warm = {}
+        warm_seconds = _timed(
+            lambda: warm.update(result=run_campaign(spec, cache_dir))
+        )
+    result = warm["result"]
+    speedup = cold_seconds / max(warm_seconds, 1e-12)
+    print(
+        f"\ncampaign sweep ({spec.grid_size} jobs): cold {cold_seconds:.3f}s vs "
+        f"warm {warm_seconds:.3f}s ({speedup:.1f}x, hit rate {result.hit_rate:.2f})"
+    )
+    assert result.hit_rate == 1.0
+    assert speedup >= 10.0
+
+
 def _timed(fn) -> float:
     start = time.perf_counter()
     fn()

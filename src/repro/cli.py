@@ -7,10 +7,12 @@ Installed as the ``repro`` module's ``__main__``-style entry point::
     python -m repro.cli ablation-baselines --users 250 --trials 2
     python -m repro.cli all --full
     python -m repro.cli fig3 --users 1000000 --trials 2 --history-mode aggregate
+    python -m repro.cli campaign --spec grid.toml --campaign-cache .campaign-cache
 
 Each sub-command prints the plain-text rendering of the corresponding
 artefact of the paper (Table I, Figures 2-5) or of the ablations and
-extension experiments.
+extension experiments; ``campaign`` sweeps a declarative scenario grid
+through the content-addressed result cache (see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
@@ -185,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--spec",
+        default=None,
+        help=(
+            "campaign spec file (.toml or .json) declaring the scenario x "
+            "policy x population x seed grid; required by (and only used "
+            "with) the campaign command"
+        ),
+    )
+    parser.add_argument(
+        "--campaign-cache",
+        default=None,
+        help=(
+            "directory of the campaign's content-addressed result cache "
+            "(default: .campaign-cache).  Re-running a completed campaign "
+            "from the same cache is a pure cache read; an interrupted sweep "
+            "resumes from the jobs already published"
+        ),
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "with campaign: print the plan (jobs, cache hits, core budget) "
+            "and exit without running anything"
+        ),
+    )
+    parser.add_argument(
         "command",
         choices=[
             "table1",
@@ -196,11 +225,35 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation-ergodicity",
             "steering",
             "drift",
+            "campaign",
             "all",
         ],
         help="which artefact to regenerate",
     )
     return parser
+
+
+def _run_campaign_command(
+    arguments: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Handle the ``campaign`` sub-command: plan, sweep, report hit rate."""
+    from repro.campaign import load_campaign_spec, plan_campaign, run_campaign
+
+    if arguments.spec is None:
+        parser.error("campaign needs a spec file: pass --spec grid.toml")
+    cache_dir = arguments.campaign_cache or ".campaign-cache"
+    try:
+        spec = load_campaign_spec(arguments.spec)
+    except (OSError, ValueError) as error:
+        parser.error(str(error))
+    plan = plan_campaign(spec, cache_dir)
+    print(plan.describe())
+    if arguments.dry_run:
+        return 0
+    result = run_campaign(spec, cache_dir)
+    print()
+    print(result.summary())
+    return 0
 
 
 def _figures(config: CaseStudyConfig, which: Sequence[str]) -> str:
@@ -221,6 +274,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse arguments, run the requested artefact, print it."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    if arguments.command == "campaign":
+        # The campaign spec file carries its own grid and run options; the
+        # per-experiment flags above do not apply.
+        return _run_campaign_command(arguments, parser)
     if arguments.history_mode == "aggregate" and arguments.command not in _AGGREGATE_CAPABLE:
         parser.error(
             "--history-mode aggregate only supports the group-series figures "

@@ -51,8 +51,11 @@ from repro.core.sharding import max_worker_shards
 
 __all__ = [
     "EXECUTION_MODES",
+    "CampaignBudget",
     "ExecutionPlan",
+    "plan_campaign_jobs",
     "plan_execution",
+    "reset_planner_caches",
     "validate_execution_settings",
     "measure_dispatch_overhead",
 ]
@@ -74,9 +77,32 @@ AUTO_COMPOSE_MIN_CORES_PER_TRIAL = 2
 AUTO_BATCH_MIN_DISPATCH_FRACTION = 0.01
 
 
+#: Per-process memos of the host probes.  The core count cannot change
+#: under a running interpreter, and the dispatch-overhead micro-bench is a
+#: property of the interpreter + BLAS build, not of the workload — so a
+#: campaign planning 10k jobs pays for each probe once, not once per job.
+_CPU_COUNT_MEMO: Optional[int] = None
+_DISPATCH_MEMO: Dict[int, float] = {}
+
+
+def reset_planner_caches() -> None:
+    """Forget the memoized cpu-count and dispatch-overhead probes.
+
+    Test seam: suites that monkeypatch ``os.cpu_count`` (rather than the
+    :func:`_detect_cpu_count` function itself) or want a fresh calibration
+    probe call this between cases.
+    """
+    global _CPU_COUNT_MEMO
+    _CPU_COUNT_MEMO = None
+    _DISPATCH_MEMO.clear()
+
+
 def _detect_cpu_count() -> int:
     """Return the host's CPU count (monkeypatchable seam for tests)."""
-    return os.cpu_count() or 1
+    global _CPU_COUNT_MEMO
+    if _CPU_COUNT_MEMO is None:
+        _CPU_COUNT_MEMO = os.cpu_count() or 1
+    return _CPU_COUNT_MEMO
 
 
 def validate_execution_settings(
@@ -227,8 +253,15 @@ def measure_dispatch_overhead(users: int, probes: int = 3) -> float:
     costs milliseconds even for million-user plans.  Calibration only ever
     tunes the *layout* — every layout is bit-identical, so a noisy probe
     cannot perturb a trajectory.
+
+    Memoized per process on the capped probe size (the only input that
+    shapes the measurement): a calibrated 10k-job campaign probes once.
+    :func:`reset_planner_caches` forgets the memo.
     """
     size = max(16, min(int(users), 1 << 16))
+    memoized = _DISPATCH_MEMO.get(size)
+    if memoized is not None:
+        return memoized
     values = np.linspace(0.0, 1.0, size)
     out = np.empty_like(values)
 
@@ -247,9 +280,9 @@ def measure_dispatch_overhead(users: int, probes: int = 3) -> float:
             _noop({"step": 0.0})["step"]
         best_dispatch = min(best_dispatch, time.perf_counter() - start)
     total = best_work + best_dispatch
-    if total <= 0.0:
-        return 0.0
-    return best_dispatch / total
+    fraction = 0.0 if total <= 0.0 else best_dispatch / total
+    _DISPATCH_MEMO[size] = fraction
+    return fraction
 
 
 def _shard_worker_count(
@@ -454,3 +487,95 @@ def plan_execution(
                 cpu_count=cores,
             )
     return serial_plan("auto")
+
+
+@dataclass(frozen=True)
+class CampaignBudget:
+    """How a campaign's concurrent jobs split the host's core budget.
+
+    A campaign runs many independent experiments (jobs).  Left to itself,
+    every job would hand :func:`plan_execution` the *whole* host core
+    count and greedily size its own trial/shard pools — J concurrent jobs
+    would then oversubscribe the machine J times over.  The budget instead
+    runs ``job_workers`` jobs side by side and grants each a
+    ``cores_per_job`` slice, which is the ``cpu_count`` its
+    :func:`plan_execution` call sees.
+
+    Attributes
+    ----------
+    jobs:
+        Number of jobs the budget was sized for (the campaign's pending
+        work, not its grid size).
+    job_workers:
+        Jobs executed concurrently.  Job-level parallelism is the
+        outermost, synchronization-free axis, so it is preferred over
+        intra-job pools whenever there are at least as many jobs as cores.
+    cores_per_job:
+        The ``cpu_count`` each concurrent job plans against (>= 1).
+    cpu_count:
+        The host core count the budget divided up.
+    """
+
+    jobs: int
+    job_workers: int
+    cores_per_job: int
+    cpu_count: int
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError("jobs must be non-negative")
+        if self.job_workers < 1:
+            raise ValueError("job_workers must be positive")
+        if self.cores_per_job < 1:
+            raise ValueError("cores_per_job must be positive")
+        if self.cpu_count < 1:
+            raise ValueError("cpu_count must be positive")
+        if self.job_workers * self.cores_per_job > max(self.cpu_count, 1) * 2:
+            # Mild oversubscription (rounding) is fine; 2x is a planning bug.
+            raise ValueError(
+                f"budget oversubscribes the host: {self.job_workers} jobs x "
+                f"{self.cores_per_job} cores on {self.cpu_count} cpus"
+            )
+
+    def describe(self) -> str:
+        """Return a one-line human summary of the budget."""
+        return (
+            f"{self.job_workers} concurrent job(s) x {self.cores_per_job} "
+            f"core(s) each (saw {self.cpu_count} cpu, {self.jobs} job(s) pending)"
+        )
+
+
+def plan_campaign_jobs(
+    jobs: int,
+    *,
+    cpu_count: Optional[int] = None,
+    max_workers: Optional[int] = None,
+) -> CampaignBudget:
+    """Split the host's cores across a campaign's pending jobs.
+
+    Jobs are whole independent experiments, so running them side by side
+    parallelizes everything — including the central refit that caps the
+    shard pool's speedup — with zero synchronization.  The budget therefore
+    maximizes ``job_workers`` first (up to the core count and the optional
+    ``max_workers`` cap) and only leaves ``cores_per_job > 1`` when cores
+    outnumber jobs; each concurrent job must then hand its
+    ``cores_per_job`` slice to :func:`plan_execution` as ``cpu_count``
+    instead of letting the planner see the whole host.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be positive when given")
+    cores = _detect_cpu_count() if cpu_count is None else int(cpu_count)
+    if cores < 1:
+        raise ValueError("cpu_count must be positive")
+    workers = min(max(jobs, 1), cores)
+    if max_workers is not None:
+        workers = min(workers, max_workers)
+    workers = max(1, workers)
+    return CampaignBudget(
+        jobs=jobs,
+        job_workers=workers,
+        cores_per_job=max(1, cores // workers),
+        cpu_count=cores,
+    )

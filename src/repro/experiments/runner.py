@@ -84,6 +84,7 @@ __all__ = [
     "GroupSeriesMoments",
     "run_trial",
     "run_experiment",
+    "trajectory_fingerprint_fields",
 ]
 
 
@@ -338,24 +339,29 @@ def _trial_stem(trial_index: int) -> str:
     return f"trial-{trial_index:04d}"
 
 
-def _trial_fingerprint(
-    config: CaseStudyConfig, trial_index: int, history_mode: str
-) -> str:
-    """Fingerprint the parameters that define one trial's trajectory.
+def trajectory_fingerprint_fields(
+    config: CaseStudyConfig, history_mode: str | None = None
+) -> Tuple[object, ...]:
+    """Return the config fields that steer a trial's trajectory, in order.
 
-    Execution layout (shards, pools, batching) is deliberately excluded —
-    every layout is bit-identical by construction, so a checkpoint written
-    under one layout resumes cleanly under another.  Everything that *does*
-    steer the trajectory (population shape and mix, model knobs, seed,
-    recording mode, the trial index) is in.
+    The single source of truth for "what defines the result": population
+    shape and race mix, the calendar window, mortgage and model knobs, the
+    master seed, and the recording mode.  Execution layout (shards, pools,
+    batching, transports, worker caps, checkpoint plumbing) is deliberately
+    excluded — every layout is bit-identical by construction — so both the
+    per-trial checkpoint fingerprints and the campaign result cache
+    (:mod:`repro.campaign.cache`) key on exactly these fields, and an entry
+    written under one layout is valid under every other.
+
+    The field order is frozen: reordering or renaming would silently
+    invalidate every persisted trial result and campaign cache entry.
     """
+    mode = config.history_mode if history_mode is None else history_mode
     race_mix = tuple(
         sorted((race.name, float(share)) for race, share in config.race_mix.items())
     )
-    return config_fingerprint(
-        "trial",
-        trial_index,
-        history_mode,
+    return (
+        mode,
         config.num_users,
         config.start_year,
         config.end_year,
@@ -370,6 +376,21 @@ def _trial_fingerprint(
         config.seed,
         config.retrain_mode,
         config.warm_start,
+    )
+
+
+def _trial_fingerprint(
+    config: CaseStudyConfig, trial_index: int, history_mode: str
+) -> str:
+    """Fingerprint the parameters that define one trial's trajectory.
+
+    The trial index joins :func:`trajectory_fingerprint_fields` so each
+    trial's checkpoints are distinct; the digest is byte-identical to what
+    earlier releases wrote, so existing checkpoint directories remain
+    resumable.
+    """
+    return config_fingerprint(
+        "trial", trial_index, *trajectory_fingerprint_fields(config, history_mode)
     )
 
 
@@ -395,6 +416,7 @@ def run_trial(
     history_mode: str | None = None,
     num_shards: int | None = None,
     shard_parallel: bool | None = None,
+    shard_transport: str | None = None,
     retrain_mode: str | None = None,
     warm_start: bool | None = None,
     checkpoint_dir: str | None = None,
@@ -429,6 +451,11 @@ def run_trial(
         config).  The trajectory is bit-identical for every worker count,
         serial or pooled: the random schedule depends only on the
         population's canonical shard partition and the trial seed.
+    shard_transport:
+        Transport of the pooled shard path's per-step payloads —
+        ``"shared"`` (zero-copy shared-memory arena) or ``"pickle"``;
+        ``None`` defers to the loop's default (``"shared"``).  Pure
+        plumbing, bit-identical either way.
     retrain_mode, warm_start:
         Sufficient-statistics retraining overrides (``None`` defers to the
         config); see :class:`~repro.experiments.config.CaseStudyConfig`.
@@ -572,6 +599,7 @@ def run_trial(
             retrain_mode=config.retrain_mode,
             checkpoint=spec,
             supervisor=supervisor,
+            shard_transport="shared" if shard_transport is None else shard_transport,
         )
     return _trial_result_from_history(config, history, population)
 
@@ -612,6 +640,7 @@ def _run_trial_task(
         int | None,
         bool | None,
         str | None,
+        str | None,
         bool | None,
         str | None,
         int | None,
@@ -629,6 +658,7 @@ def _run_trial_task(
         history_mode,
         num_shards,
         shard_parallel,
+        shard_transport,
         retrain_mode,
         warm_start,
         checkpoint_dir,
@@ -648,6 +678,7 @@ def _run_trial_task(
         history_mode=history_mode,
         num_shards=num_shards,
         shard_parallel=shard_parallel,
+        shard_transport=shard_transport,
         retrain_mode=retrain_mode,
         warm_start=warm_start,
         checkpoint_dir=checkpoint_dir,
@@ -662,6 +693,20 @@ def _trial_result_path(directory: str, trial_index: int) -> Path:
     return Path(directory) / f"{_trial_stem(trial_index)}.result"
 
 
+@dataclass(frozen=True)
+class _SeriesOnlyTrial:
+    """Group-series stub for persisted trials folded with ``keep_trials=False``.
+
+    Resume only needs ``group_default_rates`` to fold a persisted trial
+    into the experiment moments; materialising the full pickled
+    :class:`TrialResult` — histories, per-user matrices — just to read one
+    small dict and drop it would defeat the bounded-memory contract of
+    ``keep_trials=False``.
+    """
+
+    group_default_rates: Dict[Race, np.ndarray]
+
+
 def _write_trial_result(
     directory: str, trial_index: int, fingerprint: str, result: TrialResult
 ) -> None:
@@ -670,23 +715,37 @@ def _write_trial_result(
     The result file is what experiment-level ``resume`` skips on: once it
     exists, the trial never reruns, so the intermediate step snapshots are
     dead weight and are pruned away.
+
+    The group series travel beside the full result (which is pickled into
+    an opaque ``result_bytes`` blob) so a ``keep_trials=False`` resume can
+    fold the moments without reconstructing the trial's histories and
+    per-user matrices.
     """
     write_checkpoint(
         _trial_result_path(directory, trial_index),
-        {"kind": "trial_result", "fingerprint": fingerprint, "result": result},
+        {
+            "kind": "trial_result",
+            "fingerprint": fingerprint,
+            "group_rates": dict(result.group_default_rates),
+            "result_bytes": pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+        },
     )
     prune_checkpoints(directory, _trial_stem(trial_index), keep=0)
 
 
 def _load_trial_result(
-    directory: str, trial_index: int, fingerprint: str
-) -> TrialResult | None:
+    directory: str, trial_index: int, fingerprint: str, need_full: bool = True
+) -> TrialResult | _SeriesOnlyTrial | None:
     """Load a completed trial's persisted result, or ``None`` to rerun it.
 
     An unreadable/torn file degrades to a rerun with a warning (re-running
     is always safe); an intact file written by a *different* configuration
     raises — silently mixing two experiments' trials is the one outcome
     resume must never produce.
+
+    With ``need_full=False`` (the ``keep_trials=False`` resume path) only
+    the persisted group series are materialised, as a
+    :class:`_SeriesOnlyTrial`; the pickled full result stays opaque bytes.
     """
     path = _trial_result_path(directory, trial_index)
     if not path.exists():
@@ -707,7 +766,13 @@ def _load_trial_result(
             "configuration; point checkpoint_dir at a fresh directory, or "
             "rerun with the original configuration"
         )
-    return payload["result"]
+    if "result" in payload:
+        # Legacy envelope: the whole TrialResult pickled inline.  Already
+        # materialised by read_checkpoint, so hand it over either way.
+        return payload["result"]
+    if not need_full:
+        return _SeriesOnlyTrial(group_default_rates=payload["group_rates"])
+    return pickle.loads(payload["result_bytes"])
 
 
 def _is_picklable(value: object) -> bool:
@@ -755,6 +820,7 @@ def run_experiment(
     history_mode: str | None = None,
     num_shards: int | None = None,
     shard_parallel: bool | None = None,
+    shard_transport: str | None = None,
     retrain_mode: str | None = None,
     warm_start: bool | None = None,
     trial_batch: bool | None = None,
@@ -792,6 +858,10 @@ def run_experiment(
         its shard settings inside its own process (nested shard pools fall
         back to the serial shard path on platforms that forbid them —
         still bit-identical).
+    shard_transport:
+        Shared-memory vs pickling transport of the pooled shard path,
+        forwarded to every trial (``None`` defers to the loop default,
+        ``"shared"``); see :func:`run_trial`.  Bit-identical either way.
     retrain_mode, warm_start:
         Sufficient-statistics retraining overrides forwarded to every
         trial (``None`` defers to the config); see :func:`run_trial`.
@@ -924,10 +994,13 @@ def run_experiment(
     for trial_index in range(config.num_trials):
         loaded = None
         if do_resume and ckpt_dir is not None:
+            # keep_trials=False folds only the group series, so skip
+            # materialising the persisted full result.
             loaded = _load_trial_result(
                 ckpt_dir,
                 trial_index,
                 _trial_fingerprint(effective, trial_index, resolved_mode),
+                need_full=keep_trials,
             )
         if loaded is not None:
             folder.add(trial_index, loaded)
@@ -943,6 +1016,7 @@ def run_experiment(
             history_mode,
             num_shards,
             shard_parallel,
+            shard_transport,
             retrain_mode,
             warm_start,
             pending=pending,
@@ -972,6 +1046,7 @@ def run_experiment(
             history_mode=history_mode,
             num_shards=num_shards,
             shard_parallel=shard_parallel,
+            shard_transport=shard_transport,
             retrain_mode=retrain_mode,
             warm_start=warm_start,
             checkpoint_dir=ckpt_dir,
@@ -1050,6 +1125,7 @@ def _try_run_trials_in_processes(
     history_mode: str | None = None,
     num_shards: int | None = None,
     shard_parallel: bool | None = None,
+    shard_transport: str | None = None,
     retrain_mode: str | None = None,
     warm_start: bool | None = None,
     pending: Sequence[int] | None = None,
@@ -1101,6 +1177,7 @@ def _try_run_trials_in_processes(
             history_mode,
             num_shards,
             shard_parallel,
+            shard_transport,
             retrain_mode,
             warm_start,
             checkpoint_dir,
@@ -1138,6 +1215,7 @@ def _try_run_trials_in_processes(
                     history_mode=history_mode,
                     num_shards=num_shards,
                     shard_parallel=shard_parallel,
+                    shard_transport=shard_transport,
                     retrain_mode=retrain_mode,
                     warm_start=warm_start,
                     checkpoint_dir=checkpoint_dir,

@@ -243,8 +243,10 @@ def fire(
     The known sites are ``"loop_step"`` (serial loop, per step),
     ``"shard_worker_begin"``/``"shard_worker_respond"`` (inside a shard
     worker process, per shard and step), ``"trial_worker"`` (inside a
-    trial-pool worker, per trial), and ``"checkpoint_write"`` (after a
-    checkpoint file lands on disk; supplies ``path`` for torn writes).
+    trial-pool worker, per trial), ``"campaign_job"`` (before a campaign
+    job runs — pooled worker or in-process; ``trial`` carries the job
+    index), and ``"checkpoint_write"`` (after a checkpoint file lands on
+    disk; supplies ``path`` for torn writes).
     """
     plan = _active_plan()
     if plan is None:

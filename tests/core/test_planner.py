@@ -7,8 +7,10 @@ import pytest
 from repro.core import planner
 from repro.core.planner import (
     EXECUTION_MODES,
+    CampaignBudget,
     ExecutionPlan,
     measure_dispatch_overhead,
+    plan_campaign_jobs,
     plan_execution,
     validate_execution_settings,
 )
@@ -162,3 +164,96 @@ class TestPlanSurface:
             plan_execution("auto", trials=1, users=10, steps=5, cpu_count=0)
         with pytest.raises(ValueError, match="max_workers"):
             plan_execution("auto", trials=1, users=10, steps=5, max_workers=0)
+
+
+class TestPlannerMemos:
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self):
+        planner.reset_planner_caches()
+        yield
+        planner.reset_planner_caches()
+
+    def test_cpu_count_is_probed_once_per_process(self, monkeypatch):
+        calls = []
+
+        def counting_cpu_count():
+            calls.append(None)
+            return 6
+
+        monkeypatch.setattr(planner.os, "cpu_count", counting_cpu_count)
+        assert planner._detect_cpu_count() == 6
+        assert planner._detect_cpu_count() == 6
+        assert len(calls) == 1  # second call served from the memo
+
+    def test_reset_forgets_the_cpu_memo(self, monkeypatch):
+        monkeypatch.setattr(planner.os, "cpu_count", lambda: 6)
+        assert planner._detect_cpu_count() == 6
+        monkeypatch.setattr(planner.os, "cpu_count", lambda: 2)
+        assert planner._detect_cpu_count() == 6  # memo still in charge
+        planner.reset_planner_caches()
+        assert planner._detect_cpu_count() == 2
+
+    def test_dispatch_probe_is_memoized_on_the_capped_size(self):
+        first = measure_dispatch_overhead(500, probes=1)
+        assert planner._DISPATCH_MEMO  # the probe populated the memo
+        # Same capped size: the memoized fraction comes back verbatim.
+        assert measure_dispatch_overhead(500, probes=1) == first
+
+    def test_dispatch_memo_keys_on_the_capped_probe_size(self):
+        # Every size beyond the cap shares one measurement...
+        measure_dispatch_overhead(1 << 17, probes=1)
+        measure_dispatch_overhead(1 << 20, probes=1)
+        assert len(planner._DISPATCH_MEMO) == 1
+        # ...while a distinct small size probes again.
+        measure_dispatch_overhead(64, probes=1)
+        assert len(planner._DISPATCH_MEMO) == 2
+
+    def test_reset_forgets_the_dispatch_memo(self):
+        measure_dispatch_overhead(500, probes=1)
+        planner.reset_planner_caches()
+        assert not planner._DISPATCH_MEMO
+
+
+class TestCampaignBudget:
+    def test_more_jobs_than_cores_runs_one_core_each(self):
+        budget = plan_campaign_jobs(24, cpu_count=8)
+        assert budget.job_workers == 8
+        assert budget.cores_per_job == 1
+
+    def test_more_cores_than_jobs_splits_the_remainder(self):
+        budget = plan_campaign_jobs(2, cpu_count=8)
+        assert budget.job_workers == 2
+        assert budget.cores_per_job == 4
+
+    def test_uneven_split_rounds_down(self):
+        budget = plan_campaign_jobs(3, cpu_count=8)
+        assert budget.job_workers == 3
+        assert budget.cores_per_job == 2  # 8 // 3, never oversubscribed
+
+    def test_max_workers_caps_concurrency_and_widens_each_job(self):
+        budget = plan_campaign_jobs(24, cpu_count=8, max_workers=2)
+        assert budget.job_workers == 2
+        assert budget.cores_per_job == 4
+
+    def test_no_pending_jobs_still_yields_a_valid_budget(self):
+        budget = plan_campaign_jobs(0, cpu_count=4)
+        assert budget.jobs == 0
+        assert budget.job_workers == 1
+        assert budget.cores_per_job == 4
+
+    def test_describe_names_the_split(self):
+        text = plan_campaign_jobs(24, cpu_count=8).describe()
+        assert "8 concurrent job(s)" in text
+        assert "24 job(s) pending" in text
+
+    def test_bad_inputs_are_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            plan_campaign_jobs(-1, cpu_count=4)
+        with pytest.raises(ValueError, match="cpu_count"):
+            plan_campaign_jobs(4, cpu_count=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            plan_campaign_jobs(4, cpu_count=4, max_workers=0)
+
+    def test_budget_rejects_oversubscription(self):
+        with pytest.raises(ValueError, match="oversubscribes"):
+            CampaignBudget(jobs=8, job_workers=8, cores_per_job=4, cpu_count=4)
